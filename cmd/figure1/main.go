@@ -1,0 +1,154 @@
+// Command figure1 reproduces the paper's Figure 1 on its 16-node
+// example tree (and optionally on random trees): the fragment
+// partition (1a/1b), a node's ancestor set A(v) (1c), and the skeleton
+// tree T'_F of fragment roots and merging nodes (1d), rendered as
+// ASCII.
+//
+// Usage:
+//
+//	figure1 [-n 0] [-s 4] [-seed 1]   (n=0 uses the paper's example)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"distmincut/internal/graph"
+	"distmincut/internal/partition"
+	"distmincut/internal/tree"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	n := flag.Int("n", 0, "random tree size (0 = the paper's 16-node example)")
+	s := flag.Int("s", 4, "fragment size parameter (0 = √n)")
+	seed := flag.Int64("seed", 1, "random tree seed")
+	flag.Parse()
+
+	var tr *tree.Tree
+	var err error
+	if *n == 0 {
+		// The shape of Figure 1(a).
+		tr, err = tree.New(0, []graph.NodeID{-1, 0, 1, 2, 0, 2, 3, 4, 5, 5, 6, 6, 7, 7, 7, 4}, nil)
+	} else {
+		tr, err = tree.FromGraphTree(graph.RandomTree(*n, *seed), 0)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	d := partition.Split(tr, *s)
+	if err := partition.Validate(tr, d); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	sk := partition.BuildSkeleton(tr, d)
+
+	fmt.Printf("Figure 1(a): tree T on %d nodes, rooted at %d\n", tr.N(), tr.Root())
+	printTree(tr, d, sk)
+
+	fmt.Printf("\nFigure 1(b): partition into %d fragments (s=%d)\n", len(d.Roots), d.S)
+	byFrag := map[graph.NodeID][]graph.NodeID{}
+	for v := 0; v < tr.N(); v++ {
+		byFrag[d.RootOf[v]] = append(byFrag[d.RootOf[v]], graph.NodeID(v))
+	}
+	roots := append([]graph.NodeID(nil), d.Roots...)
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, r := range roots {
+		fmt.Printf("  fragment (%d): %v\n", r, byFrag[r])
+	}
+
+	v := exampleLeaf(tr)
+	fmt.Printf("\nFigure 1(c): A(%d) — ancestors of %d in its own and parent fragment\n", v, v)
+	fmt.Printf("  %v\n", ancestors(tr, d, v))
+
+	fmt.Printf("\nFigure 1(d): skeleton tree T'_F (fragment roots ◆, merging nodes ●)\n")
+	var members []graph.NodeID
+	for m := range sk.Members {
+		members = append(members, m)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	for _, m := range members {
+		tag := "◆"
+		for _, mg := range sk.Merging {
+			if mg == m {
+				tag = "●"
+			}
+		}
+		if sk.Parent[m] < 0 {
+			fmt.Printf("  %s %d (root)\n", tag, m)
+		} else {
+			fmt.Printf("  %s %d -> %d\n", tag, m, sk.Parent[m])
+		}
+	}
+	fmt.Printf("\nmerging nodes: %v\n", sk.Merging)
+	return 0
+}
+
+// printTree renders the tree with fragment annotations.
+func printTree(tr *tree.Tree, d *partition.Decomposition, sk *partition.Skeleton) {
+	var rec func(v graph.NodeID, prefix string, last bool)
+	rec = func(v graph.NodeID, prefix string, last bool) {
+		connector := "├─"
+		next := prefix + "│ "
+		if last {
+			connector = "└─"
+			next = prefix + "  "
+		}
+		marks := ""
+		if d.RootOf[v] == v {
+			marks += " ◆frag(" + fmt.Sprint(v) + ")"
+		}
+		for _, m := range sk.Merging {
+			if m == v {
+				marks += " ●merge"
+			}
+		}
+		if v == tr.Root() {
+			fmt.Printf("%d%s\n", v, marks)
+		} else {
+			fmt.Printf("%s%s%d%s\n", prefix, connector, v, marks)
+		}
+		kids := tr.Children(v)
+		for i, c := range kids {
+			rec(c, next, i == len(kids)-1)
+		}
+	}
+	rec(tr.Root(), "", true)
+}
+
+// exampleLeaf picks the deepest node (ties to highest ID) to
+// illustrate A(v).
+func exampleLeaf(tr *tree.Tree) graph.NodeID {
+	best := tr.Root()
+	for v := 0; v < tr.N(); v++ {
+		if tr.Depth(graph.NodeID(v)) >= tr.Depth(best) {
+			best = graph.NodeID(v)
+		}
+	}
+	return best
+}
+
+// ancestors reproduces A(v): ancestors within v's fragment and its
+// parent fragment, nearest first, self included.
+func ancestors(tr *tree.Tree, d *partition.Decomposition, v graph.NodeID) []graph.NodeID {
+	myFrag := d.RootOf[v]
+	var parentFrag graph.NodeID = -1
+	if p := tr.Parent(myFrag); p >= 0 {
+		parentFrag = d.RootOf[p]
+	}
+	out := []graph.NodeID{v}
+	for u := tr.Parent(v); u >= 0; u = tr.Parent(u) {
+		f := d.RootOf[u]
+		if f != myFrag && f != parentFrag {
+			break
+		}
+		out = append(out, u)
+	}
+	return out
+}

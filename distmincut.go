@@ -1,0 +1,342 @@
+// Package distmincut is a library reproduction of
+//
+//	Danupon Nanongkai, "Brief Announcement: Almost-Tight Approximation
+//	Distributed Algorithm for Minimum Cut", PODC 2014 (arXiv:1403.6188).
+//
+// It computes minimum cuts of weighted graphs with a distributed
+// algorithm in the synchronous CONGEST model, simulated faithfully
+// (one goroutine per node, one O(log n)-bit message per edge per
+// round): the minimum cut λ exactly in Õ((√n + D)·poly(λ)) rounds, and
+// a (1+ε)-approximation in Õ((√n + D)/poly(ε)) rounds via Karger
+// sampling — improving the (2+ε) of Ghaffari–Kuhn [DISC 2013] and
+// matching the Ω̃(√n + D) lower bound of Das Sarma et al. up to
+// polylogs.
+//
+// The pipeline is Thorup's greedy tree packing (internal/packing) over
+// a Kutten–Peleg-style distributed MST (internal/mst), with the
+// paper's Section-2 algorithm (internal/respect) finding, for each
+// packed tree, the minimum cut that 1-respects it in Õ(√n + D) rounds.
+//
+// Entry points: MinCut (exact, small λ), ApproxMinCut ((1+ε), any λ),
+// and OneRespectingCut (Theorem 2.1 on the MST alone). Each runs the
+// whole distributed protocol on the in-process CONGEST runtime and
+// reports round/message complexity alongside the cut.
+package distmincut
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"distmincut/internal/congest"
+	"distmincut/internal/graph"
+	"distmincut/internal/mst"
+	"distmincut/internal/packing"
+	"distmincut/internal/proto"
+	"distmincut/internal/sampling"
+)
+
+// ErrBadInput is returned for graphs on which no cut exists or that
+// are not connected.
+var ErrBadInput = errors.New("distmincut: need a connected graph with at least 2 nodes")
+
+// Options tune a run. The zero value is ready to use.
+type Options struct {
+	// Seed drives all randomness (engine scheduling is deterministic;
+	// the seed affects MST coin flips and sampling). Zero means 1.
+	Seed int64
+	// Epsilon is the approximation parameter for ApproxMinCut
+	// (default 0.5).
+	Epsilon float64
+	// MaxLambda bounds the exact algorithm's doubling search
+	// (default 2^20). Beyond it MinCut returns its best cut found with
+	// Exact=false; use ApproxMinCut for large cuts.
+	MaxLambda int64
+	// TauPolicy picks the packing size for a cut guess; nil uses
+	// packing.PracticalTau. packing.TheoreticalTau is Thorup's bound.
+	TauPolicy func(lambda int64, n int) int
+	// ApproxTauMax caps trees packed per sampling level (default 32).
+	ApproxTauMax int
+	// SizeCap overrides the √n fragment size threshold (E9 ablation).
+	SizeCap int
+	// Unbounded switches the runtime to unbounded per-edge bandwidth
+	// (LOCAL-model ablation, E9).
+	Unbounded bool
+	// MaxRounds overrides the runtime's safety cap.
+	MaxRounds int
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.Epsilon <= 0 || out.Epsilon >= 1 {
+		out.Epsilon = 0.5
+	}
+	if out.MaxLambda <= 0 {
+		out.MaxLambda = 1 << 20
+	}
+	if out.ApproxTauMax <= 0 {
+		out.ApproxTauMax = 32
+	}
+	return out
+}
+
+// Result reports a distributed min-cut computation.
+type Result struct {
+	// Value is the weight of the returned cut; Side marks one side of
+	// it (Side[v] == true means node v is inside X).
+	Value int64
+	Side  []bool
+	// Exact reports whether Value is certified to equal λ (the exact
+	// algorithm converged, or the approximate one resolved the cut at
+	// sampling level 0).
+	Exact bool
+	// BestNode is the tree node v whose subtree v↓ defines the cut, and
+	// TreesPacked how many trees the packing used.
+	BestNode    graph.NodeID
+	TreesPacked int
+	// Levels is the number of sampling levels descended (approx only);
+	// SkeletonCut the cut value measured in the final skeleton and
+	// SamplingProb its sampling probability.
+	Levels       int
+	SkeletonCut  int64
+	SamplingProb float64
+	// Rounds and Messages are the CONGEST complexity of the whole run;
+	// Stats has the full accounting.
+	Rounds   int
+	Messages int64
+	Stats    *congest.Stats
+}
+
+// collector gathers per-node outputs under a lock.
+type collector struct {
+	mu    sync.Mutex
+	sides []bool
+	packs []*packing.Result
+	value int64
+	extra map[string]int64
+}
+
+// MaxWeight bounds edge weights: the MST key comparison packs loads
+// and weights into single words and cross-multiplies them in int64, so
+// weights must stay below 2^31.
+const MaxWeight = 1<<31 - 1
+
+func validate(g *graph.Graph) error {
+	if g.N() < 2 {
+		return fmt.Errorf("%w: n = %d", ErrBadInput, g.N())
+	}
+	if !graph.IsConnected(g) {
+		return fmt.Errorf("%w: graph is disconnected", ErrBadInput)
+	}
+	for _, e := range g.Edges() {
+		if e.W > MaxWeight {
+			return fmt.Errorf("%w: edge {%d,%d} weight %d exceeds MaxWeight %d",
+				ErrBadInput, e.U, e.V, e.W, int64(MaxWeight))
+		}
+	}
+	return nil
+}
+
+// MinCut computes the minimum cut exactly with the paper's main
+// algorithm (tree packing with a doubling guess for λ). For cuts
+// beyond Options.MaxLambda the result carries Exact=false; use
+// ApproxMinCut there.
+func MinCut(g *graph.Graph, opts *Options) (*Result, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	col := &collector{sides: make([]bool, g.N()), packs: make([]*packing.Result, g.N())}
+	exactAll := true
+	stats, err := congest.Run(g, congest.Options{Seed: o.Seed, Unbounded: o.Unbounded, MaxRounds: o.MaxRounds}, func(nd *congest.Node) {
+		bfs := proto.BuildBFS(nd, 0, 1)
+		res, exact := packing.ExactDoubling(nd, bfs, o.TauPolicy, o.MaxLambda,
+			packing.Options{SizeCap: o.SizeCap}, 1000)
+		side := packing.MarkSide(nd, bfs, res, 100)
+		value := packing.EvaluateCut(nd, bfs, side, 200)
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		col.sides[nd.ID()] = side
+		col.packs[nd.ID()] = res
+		col.value = value
+		if !exact {
+			exactAll = false
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := col.packs[0]
+	return &Result{
+		Value:       col.value,
+		Side:        col.sides,
+		Exact:       exactAll,
+		BestNode:    p.CutNode,
+		TreesPacked: p.Trees,
+		Rounds:      stats.Rounds,
+		Messages:    stats.Delivered,
+		Stats:       stats,
+	}, nil
+}
+
+// OneRespectingCut runs Theorem 2.1 alone: build the MST distributedly
+// and find the minimum cut that 1-respects it, in Õ(√n + D) rounds.
+// The returned value is an upper bound on λ (and at most a factor ~2
+// above it for MST trees under Thorup packing's first tree); every
+// node also learns C(v↓) — the PerNode slice reports them.
+func OneRespectingCut(g *graph.Graph, opts *Options) (*Result, []int64, error) {
+	if err := validate(g); err != nil {
+		return nil, nil, err
+	}
+	o := opts.withDefaults()
+	col := &collector{sides: make([]bool, g.N()), packs: make([]*packing.Result, g.N())}
+	perNode := make([]int64, g.N())
+	stats, err := congest.Run(g, congest.Options{Seed: o.Seed, Unbounded: o.Unbounded, MaxRounds: o.MaxRounds}, func(nd *congest.Node) {
+		bfs := proto.BuildBFS(nd, 0, 1)
+		loads := make(map[int]int64, nd.Degree())
+		res := packing.Pack(nd, bfs, 1, loads, packing.Options{SizeCap: o.SizeCap}, 1000, nil)
+		side := packing.MarkSide(nd, bfs, res, 100)
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		col.sides[nd.ID()] = side
+		col.packs[nd.ID()] = res
+		perNode[nd.ID()] = res.BestOutput.CutBelow
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	p := col.packs[0]
+	return &Result{
+		Value:       p.Cut,
+		Side:        col.sides,
+		BestNode:    p.CutNode,
+		TreesPacked: 1,
+		Rounds:      stats.Rounds,
+		Messages:    stats.Delivered,
+		Stats:       stats,
+	}, perNode, nil
+}
+
+// ApproxMinCut computes a (1+ε)-approximate minimum cut via the
+// paper's sampling reduction: descend sampling levels p = 2^-ℓ
+// (jumping geometrically using the observed cut) until the skeleton's
+// minimum cut falls below κ(ε) = Θ(log n/ε²), find the skeleton's
+// minimum cut with the exact machinery, and return that cut's true
+// weight in the original graph. If the graph's own cut is already
+// below κ the answer is exact.
+func ApproxMinCut(g *graph.Graph, opts *Options) (*Result, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	kappa := sampling.Kappa(o.Epsilon, g.N())
+	col := &collector{sides: make([]bool, g.N()), packs: make([]*packing.Result, g.N()), extra: map[string]int64{}}
+	stats, err := congest.Run(g, congest.Options{Seed: o.Seed, Unbounded: o.Unbounded, MaxRounds: o.MaxRounds}, func(nd *congest.Node) {
+		bfs := proto.BuildBFS(nd, 0, 1)
+		approxProgram(nd, bfs, g, kappa, o, col)
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := col.packs[0]
+	return &Result{
+		Value:        col.value,
+		Side:         col.sides,
+		Exact:        col.extra["level"] == 0 && col.extra["exact"] == 1,
+		BestNode:     p.CutNode,
+		TreesPacked:  int(col.extra["trees"]),
+		Levels:       int(col.extra["level"]),
+		SkeletonCut:  p.Cut,
+		SamplingProb: 1 / float64(int64(1)<<col.extra["level"]),
+		Rounds:       stats.Rounds,
+		Messages:     stats.Delivered,
+		Stats:        stats,
+	}, nil
+}
+
+// approxProgram is the per-node (1+ε) driver. All branch decisions are
+// functions of globally known values, so every node follows the same
+// level schedule in lockstep.
+func approxProgram(nd *congest.Node, bfs *proto.Overlay, g *graph.Graph, kappa int64, o Options, col *collector) {
+	const levelSpan = uint32(80_000_000)
+	weightAt := func(level int) func(p int) int64 {
+		if level == 0 {
+			return nil
+		}
+		return func(p int) int64 {
+			e := g.Edge(nd.EdgeID(p))
+			return sampling.SampleWeight(o.Seed, mst.PackUV(e.U, e.V), level, e.W)
+		}
+	}
+
+	// Level 0: try the exact algorithm capped at κ. If λ <= κ this is
+	// already the exact answer.
+	res, exact := packing.ExactDoubling(nd, bfs, o.TauPolicy, kappa,
+		packing.Options{SizeCap: o.SizeCap}, 1000)
+	level, trees := 0, res.Trees
+	if !exact {
+		// Descend: jump to the level where the observed cut would land
+		// near κ, then refine one level at a time.
+		prev := res
+		prevLevel := 0
+		for level < 62 {
+			jump := 1
+			for c := prev.Cut; c > 2*kappa && jump < 40; c /= 2 {
+				jump++
+			}
+			level = prevLevel + jump
+			tagBase := uint32(level) * levelSpan
+			loads := make(map[int]int64, nd.Degree())
+			cur := packing.Pack(nd, bfs, o.ApproxTauMax, loads,
+				packing.Options{Weight: weightAt(level), StopBelow: kappa, SizeCap: o.SizeCap},
+				tagBase, nil)
+			trees += cur.Trees
+			if !cur.Connected {
+				// Oversampled: retreat one level and accept it.
+				level = prevLevel + jump - 1
+				if level == prevLevel {
+					res = prev
+					level = prevLevel
+					break
+				}
+				tagBase = uint32(level)*levelSpan + levelSpan/2
+				loads = make(map[int]int64, nd.Degree())
+				cur = packing.Pack(nd, bfs, o.ApproxTauMax, loads,
+					packing.Options{Weight: weightAt(level), StopBelow: kappa, SizeCap: o.SizeCap},
+					tagBase, nil)
+				trees += cur.Trees
+				if !cur.Connected {
+					res = prev
+					level = prevLevel
+					break
+				}
+				res = cur
+				break
+			}
+			if cur.Cut <= kappa {
+				res = cur
+				break
+			}
+			prev, prevLevel = cur, level
+		}
+	}
+
+	side := packing.MarkSide(nd, bfs, res, 100)
+	value := packing.EvaluateCut(nd, bfs, side, 200)
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.sides[nd.ID()] = side
+	col.packs[nd.ID()] = res
+	col.value = value
+	col.extra["level"] = int64(level)
+	col.extra["trees"] = int64(trees)
+	if exact {
+		col.extra["exact"] = 1
+	}
+}

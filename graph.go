@@ -1,0 +1,18 @@
+package distmincut
+
+import "distmincut/internal/graph"
+
+// Graph re-exports the weighted-graph substrate so library consumers
+// can build inputs without reaching into internal packages. All methods
+// of the underlying type (AddEdge, Validate, CutWeight, ...) are
+// available through the alias.
+type Graph = graph.Graph
+
+// NodeID re-exports the node identifier type.
+type NodeID = graph.NodeID
+
+// NewGraph returns an empty graph on n nodes (IDs 0..n-1). Add edges
+// with AddEdge and pass the graph to MinCut / ApproxMinCut /
+// OneRespectingCut; call SortAdjacency after construction for
+// deterministic port numbering.
+func NewGraph(n int) *Graph { return graph.New(n) }

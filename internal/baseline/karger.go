@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+
+	"distmincut/internal/graph"
+)
+
+// KargerContract runs Karger's randomized contraction algorithm with
+// the given number of independent trials and returns the best cut
+// found. With trials = Θ(n² log n) the result is the exact minimum cut
+// with high probability; tests use it as an independent cross-check of
+// Stoer–Wagner on small graphs. Weighted edges are contracted with
+// probability proportional to weight.
+func KargerContract(g *graph.Graph, trials int, seed int64) (int64, []bool, error) {
+	n := g.N()
+	if n < 2 {
+		return 0, nil, ErrTooSmall
+	}
+	rng := rand.New(rand.NewSource(seed))
+	best := int64(-1)
+	var bestSide []bool
+	for trial := 0; trial < trials; trial++ {
+		w, side := contractOnce(g, rng)
+		if best < 0 || w < best {
+			best = w
+			bestSide = side
+		}
+	}
+	return best, bestSide, nil
+}
+
+// DefaultKargerTrials returns a trial count giving >= 1-1/n success
+// probability (n² ln n, capped for tiny graphs).
+func DefaultKargerTrials(n int) int {
+	if n < 2 {
+		return 1
+	}
+	t := int(float64(n) * float64(n) * math.Log(float64(n)+1))
+	if t < 10 {
+		t = 10
+	}
+	return t
+}
+
+// contractOnce contracts uniformly at random (weight-proportional)
+// until two supernodes remain.
+func contractOnce(g *graph.Graph, rng *rand.Rand) (int64, []bool) {
+	n := g.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	// Live edge list with weights; pick by cumulative weight.
+	edges := make([]liveEdge, 0, g.M())
+	for _, e := range g.Edges() {
+		edges = append(edges, liveEdge{int(e.U), int(e.V), e.W})
+	}
+	remaining := n
+	for remaining > 2 {
+		var total int64
+		for _, e := range edges {
+			total += e.w
+		}
+		if total == 0 {
+			break // disconnected remainder
+		}
+		r := rng.Int63n(total)
+		var pick liveEdge
+		for _, e := range edges {
+			if r < e.w {
+				pick = e
+				break
+			}
+			r -= e.w
+		}
+		ru, rv := find(pick.u), find(pick.v)
+		if ru == rv {
+			// Stale edge; filter and retry.
+			edges = filterLive(edges, find)
+			continue
+		}
+		parent[rv] = ru
+		remaining--
+		edges = filterLive(edges, find)
+	}
+	// Cut weight = total weight of edges between the two supernodes.
+	var cut int64
+	root0 := find(0)
+	for _, e := range g.Edges() {
+		if find(int(e.U)) != find(int(e.V)) {
+			cut += e.W
+		}
+	}
+	side := make([]bool, n)
+	for v := 0; v < n; v++ {
+		side[v] = find(v) == root0
+	}
+	return cut, side
+}
+
+// liveEdge is an edge between supernodes during contraction.
+type liveEdge struct {
+	u, v int
+	w    int64
+}
+
+func filterLive(edges []liveEdge, find func(int) int) []liveEdge {
+	out := edges[:0]
+	for _, e := range edges {
+		if find(e.u) != find(e.v) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

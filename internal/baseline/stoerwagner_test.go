@@ -1,0 +1,132 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"distmincut/internal/graph"
+	"distmincut/internal/verify"
+)
+
+func TestStoerWagnerKnownCuts(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"cycle", graph.Cycle(10), 2},
+		{"complete", graph.Complete(7), 6},
+		{"star", graph.Star(8), 1},
+		{"hypercube", graph.Hypercube(4), 4},
+		{"barbell", graph.Barbell(5, 3), 1},
+		{"planted3", graph.PlantedCut(12, 14, 3, 0.6, 1), 3},
+		{"planted5", graph.PlantedCut(10, 10, 5, 0.7, 2), 5},
+		{"cliquepath", graph.CliquePath(4, 6, 2), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, side, err := StoerWagner(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w != tc.want {
+				t.Fatalf("min cut = %d, want %d", w, tc.want)
+			}
+			got, err := verify.CutSides(tc.g, side)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != w {
+				t.Fatalf("returned side has weight %d, reported %d", got, w)
+			}
+		})
+	}
+}
+
+func TestStoerWagnerWeighted(t *testing.T) {
+	// Two triangles joined by one heavy edge: min cut is min(heavy,
+	// lightest node isolation).
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 2, 10)
+	g.MustAddEdge(0, 2, 10)
+	g.MustAddEdge(3, 4, 10)
+	g.MustAddEdge(4, 5, 10)
+	g.MustAddEdge(3, 5, 10)
+	g.MustAddEdge(2, 3, 7)
+	g.SortAdjacency()
+	w, _, err := StoerWagner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 7 {
+		t.Fatalf("weighted min cut = %d, want 7", w)
+	}
+}
+
+func TestStoerWagnerTooSmall(t *testing.T) {
+	if _, _, err := StoerWagner(graph.New(1)); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("err = %v, want ErrTooSmall", err)
+	}
+}
+
+func TestStoerWagnerDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(2, 3, 5)
+	w, side, err := StoerWagner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Fatalf("disconnected min cut = %d, want 0", w)
+	}
+	if got, err := verify.CutSides(g, side); err != nil || got != 0 {
+		t.Fatalf("side weight %d err %v", got, err)
+	}
+}
+
+// TestKargerAgreesWithStoerWagner: two independent exact algorithms
+// must agree (Karger run with enough trials to succeed w.h.p.).
+func TestKargerAgreesWithStoerWagner(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%14) + 4
+		g := graph.AssignWeights(graph.GNP(n, 0.4, seed), 1, 6, seed+1)
+		sw, _, err := StoerWagner(g)
+		if err != nil {
+			return false
+		}
+		kc, side, err := KargerContract(g, DefaultKargerTrials(n), seed+2)
+		if err != nil {
+			return false
+		}
+		if kc != sw {
+			t.Logf("n=%d seed=%d: karger %d vs stoer-wagner %d", n, seed, kc, sw)
+			return false
+		}
+		got, err := verify.CutSides(g, side)
+		return err == nil && got == kc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Stoer–Wagner never exceeds the minimum weighted degree
+// (isolating one node is always a cut), and is positive on connected
+// graphs.
+func TestStoerWagnerBounds(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%20) + 3
+		g := graph.AssignWeights(graph.GNP(n, 0.3, seed), 1, 9, seed+3)
+		w, _, err := StoerWagner(g)
+		if err != nil {
+			return false
+		}
+		return w >= 1 && w <= graph.MinDegree(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

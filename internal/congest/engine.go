@@ -1,0 +1,343 @@
+package congest
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"distmincut/internal/graph"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Seed derives every node's private RNG. Runs with equal seeds are
+	// bit-identical. Zero means seed 1.
+	Seed int64
+	// MaxRounds aborts runs that exceed this many rounds (safety net
+	// against protocol bugs). Zero means DefaultMaxRounds.
+	MaxRounds int
+	// Unbounded, if set, delivers the entire per-edge send queue each
+	// round instead of one message, i.e. a LOCAL-model network with
+	// unbounded bandwidth. Used only by the pipelining ablation (E9).
+	Unbounded bool
+}
+
+// DefaultMaxRounds is the default safety cap on simulated rounds.
+const DefaultMaxRounds = 20_000_000
+
+// ErrDeadlock is returned when every node is parked in Recv, nothing is
+// in flight, and no sleep deadline is pending.
+var ErrDeadlock = errors.New("congest: deadlock")
+
+// ErrMaxRounds is returned when the round cap is exceeded.
+var ErrMaxRounds = errors.New("congest: exceeded MaxRounds")
+
+// PanicError wraps a panic raised by a node program.
+type PanicError struct {
+	Node  graph.NodeID
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("congest: node %d panicked: %v", e.Node, e.Value)
+}
+
+// Engine drives one simulation. Create with Run; it is not reusable.
+type Engine struct {
+	g     *graph.Graph
+	opts  Options
+	nodes []*Node
+
+	round      int
+	parked     chan *Node
+	outPending outPendingCounter
+	sent       atomic.Int64
+	delivered  int64
+	wakeups    int64
+	aborted    atomic.Bool
+
+	// revPort[u][p] is the port index at the peer for port p of node u,
+	// precomputed so delivery is O(1) per message.
+	revPort [][]int
+
+	sleepers sleepHeap
+
+	marksMu sync.Mutex
+	marks   []Mark
+}
+
+// Run simulates program on every node of g and returns run statistics.
+// The graph must be connected and have deterministic port numbering
+// (generators call SortAdjacency; see graph docs).
+func Run(g *graph.Graph, opts Options, program func(*Node)) (*Stats, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = DefaultMaxRounds
+	}
+	n := g.N()
+	e := &Engine{
+		g:      g,
+		opts:   opts,
+		nodes:  make([]*Node, n),
+		parked: make(chan *Node, n),
+	}
+	e.buildRevPorts()
+	for i := 0; i < n; i++ {
+		adj := g.Adj(graph.NodeID(i))
+		e.nodes[i] = &Node{
+			id:     graph.NodeID(i),
+			eng:    e,
+			adj:    adj,
+			rng:    rand.New(rand.NewSource(opts.Seed*1_000_003 + int64(i))),
+			outQ:   make([]queue, len(adj)),
+			inQ:    make([]queue, len(adj)),
+			wakeCh: make(chan struct{}, 1),
+			phase:  phaseRunning,
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for _, nd := range e.nodes {
+		go func(nd *Node) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil && r != errAborted {
+					nd.panicVal = &PanicError{Node: nd.id, Value: r, Stack: string(debug.Stack())}
+				}
+				nd.phase = phaseDone
+				e.parked <- nd
+			}()
+			program(nd)
+		}(nd)
+	}
+	stats, err := e.coordinate()
+	wg.Wait()
+	return stats, err
+}
+
+func (e *Engine) buildRevPorts() {
+	n := e.g.N()
+	e.revPort = make([][]int, n)
+	for u := 0; u < n; u++ {
+		adj := e.g.Adj(graph.NodeID(u))
+		e.revPort[u] = make([]int, len(adj))
+		for p, h := range adj {
+			e.revPort[u][p] = e.g.PortOf(h.Peer, h.EdgeID)
+		}
+	}
+}
+
+// coordinate is the engine main loop; it runs on the caller goroutine.
+func (e *Engine) coordinate() (*Stats, error) {
+	running := len(e.nodes)
+	done := 0
+	var firstPanic error
+
+	waitAllParked := func() {
+		for running > 0 {
+			nd := <-e.parked
+			running--
+			if nd.phase == phaseDone {
+				done++
+				if pe, ok := nd.panicVal.(*PanicError); ok && firstPanic == nil {
+					firstPanic = pe
+				}
+			} else if nd.phase == phaseSleep {
+				heap.Push(&e.sleepers, sleepEntry{at: nd.wakeAt, gen: nd.parkGen, nd: nd})
+			}
+		}
+	}
+
+	abort := func(cause error) (*Stats, error) {
+		e.aborted.Store(true)
+		// Wake every parked non-done node so its goroutine unwinds.
+		for _, nd := range e.nodes {
+			if nd.phase == phaseRecv || nd.phase == phaseSleep {
+				running++
+				nd.wakeCh <- struct{}{}
+			}
+		}
+		waitAllParked()
+		return e.stats(), cause
+	}
+
+	for {
+		waitAllParked()
+		if firstPanic != nil {
+			return abort(firstPanic)
+		}
+		pending := e.outPending.Load()
+		if done == len(e.nodes) && pending == 0 {
+			return e.stats(), nil
+		}
+		// Decide the next round: the immediate next one if traffic is in
+		// flight, otherwise fast-forward to the earliest sleep deadline.
+		if pending > 0 {
+			e.round++
+		} else {
+			e.purgeStaleSleepers()
+			if e.sleepers.Len() == 0 {
+				return abort(e.deadlockError(done))
+			}
+			e.round = e.sleepers[0].at
+		}
+		if e.round > e.opts.MaxRounds {
+			return abort(fmt.Errorf("%w (%d)", ErrMaxRounds, e.opts.MaxRounds))
+		}
+		receivers := e.deliver()
+		wake := e.wakeSet(receivers)
+		running = len(wake)
+		e.wakeups += int64(running)
+		for _, nd := range wake {
+			nd.phase = phaseRunning
+			nd.wakeCh <- struct{}{}
+		}
+	}
+}
+
+// deliver transmits the head (or, in Unbounded mode, the entirety) of
+// every non-empty send queue and returns the set of nodes that received
+// at least one message, in ascending ID order.
+func (e *Engine) deliver() []*Node {
+	var receivers []*Node
+	seen := make(map[graph.NodeID]bool)
+	for _, nd := range e.nodes {
+		if nd.nonEmptyOut == 0 {
+			continue
+		}
+		for p := range nd.outQ {
+			q := &nd.outQ[p]
+			if q.len() == 0 {
+				continue
+			}
+			k := 1
+			if e.opts.Unbounded {
+				k = q.len()
+			}
+			peer := e.nodes[nd.adj[p].Peer]
+			rp := e.revPort[nd.id][p]
+			for i := 0; i < k; i++ {
+				m, _ := q.pop()
+				peer.inQ[rp].push(m)
+				e.delivered++
+			}
+			if q.len() == 0 {
+				nd.nonEmptyOut--
+				e.outPending.Add(-1)
+			}
+			if !seen[peer.id] {
+				seen[peer.id] = true
+				receivers = append(receivers, peer)
+			}
+		}
+	}
+	sort.Slice(receivers, func(i, j int) bool { return receivers[i].id < receivers[j].id })
+	return receivers
+}
+
+// wakeSet returns receivers whose Recv predicate is now satisfied plus
+// sleepers whose deadline has passed.
+func (e *Engine) wakeSet(receivers []*Node) []*Node {
+	var wake []*Node
+	for _, nd := range receivers {
+		if nd.phase != phaseRecv {
+			continue // running sleeper accounting separately; done nodes keep leftovers
+		}
+		if e.matches(nd) {
+			wake = append(wake, nd)
+		}
+	}
+	for e.sleepers.Len() > 0 && e.sleepers[0].at <= e.round {
+		entry := heap.Pop(&e.sleepers).(sleepEntry)
+		if entry.live() {
+			wake = append(wake, entry.nd)
+		}
+	}
+	return wake
+}
+
+// purgeStaleSleepers drops heap entries whose node has since been woken
+// and re-parked, so fast-forward targets are always live deadlines.
+func (e *Engine) purgeStaleSleepers() {
+	for e.sleepers.Len() > 0 && !e.sleepers[0].live() {
+		heap.Pop(&e.sleepers)
+	}
+}
+
+func (e *Engine) matches(nd *Node) bool {
+	for p := range nd.inQ {
+		q := &nd.inQ[p]
+		for i := 0; i < q.len(); i++ {
+			if nd.match(p, q.at(i)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (e *Engine) deadlockError(done int) error {
+	var stuck []graph.NodeID
+	for _, nd := range e.nodes {
+		if nd.phase == phaseRecv {
+			stuck = append(stuck, nd.id)
+			if len(stuck) >= 8 {
+				break
+			}
+		}
+	}
+	return fmt.Errorf("%w at round %d: %d/%d nodes done, first stuck nodes %v",
+		ErrDeadlock, e.round, done, len(e.nodes), stuck)
+}
+
+func (e *Engine) mark(label string, id graph.NodeID) {
+	e.marksMu.Lock()
+	defer e.marksMu.Unlock()
+	e.marks = append(e.marks, Mark{Label: label, Round: e.round, Node: id})
+}
+
+func (e *Engine) stats() *Stats {
+	var leftover int64
+	for _, nd := range e.nodes {
+		leftover += nd.leftover()
+	}
+	return &Stats{
+		Rounds:    e.round,
+		Sent:      e.sent.Load(),
+		Delivered: e.delivered,
+		Wakeups:   e.wakeups,
+		Leftover:  leftover,
+		Marks:     e.marks,
+	}
+}
+
+// sleepEntry and sleepHeap implement the sleeper priority queue.
+type sleepEntry struct {
+	at  int
+	gen int
+	nd  *Node
+}
+
+// live reports whether the entry still refers to the node's current
+// park (the node has not been woken and re-parked since).
+func (s sleepEntry) live() bool {
+	return s.nd.phase == phaseSleep && s.nd.parkGen == s.gen
+}
+
+type sleepHeap []sleepEntry
+
+func (h sleepHeap) Len() int           { return len(h) }
+func (h sleepHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h sleepHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *sleepHeap) Push(x any)        { *h = append(*h, x.(sleepEntry)) }
+func (h *sleepHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+var _ heap.Interface = (*sleepHeap)(nil)

@@ -1,0 +1,360 @@
+package congest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"distmincut/internal/graph"
+)
+
+const (
+	kindToken uint8 = iota + 1
+	kindFlood
+	kindData
+)
+
+// TestPingPongRounds: two nodes bounce a token k times; the run must
+// take exactly 2k rounds (one round per hop).
+func TestPingPongRounds(t *testing.T) {
+	g := graph.Path(2)
+	const k = 7
+	stats, err := Run(g, Options{}, func(nd *Node) {
+		for i := 0; i < k; i++ {
+			if nd.ID() == 0 {
+				nd.Send(0, Message{Kind: kindToken, A: int64(i)})
+				_, m := nd.RecvKindTag(kindToken, 0)
+				if m.A != int64(i) {
+					panic("token payload corrupted")
+				}
+			} else {
+				_, m := nd.RecvKindTag(kindToken, 0)
+				nd.Send(0, m)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 2*k {
+		t.Fatalf("ping-pong rounds = %d, want %d", stats.Rounds, 2*k)
+	}
+	if stats.Leftover != 0 {
+		t.Fatalf("leftover = %d, want 0", stats.Leftover)
+	}
+}
+
+// TestFloodFillRounds: a token floods from node 0; every node learns it
+// at a round equal to its BFS distance.
+func TestFloodFillRounds(t *testing.T) {
+	g := graph.Grid(5, 8)
+	dist, _ := graph.BFS(g, 0)
+	got := make([]int, g.N())
+	stats, err := Run(g, Options{}, func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.SendAll(Message{Kind: kindFlood})
+			got[0] = 0
+			return
+		}
+		nd.Recv(MatchKind(kindFlood))
+		got[nd.ID()] = nd.Round()
+		nd.SendAll(Message{Kind: kindFlood})
+		// Absorb floods from remaining neighbors so nothing is left over.
+		for i := 0; i < nd.Degree()-1; i++ {
+			nd.Recv(MatchKind(kindFlood))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range got {
+		if got[v] != dist[v] {
+			t.Fatalf("node %d flooded at round %d, BFS distance %d", v, got[v], dist[v])
+		}
+	}
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	// Last delivery happens one round after the farthest node re-floods.
+	if stats.Rounds < ecc || stats.Rounds > ecc+1 {
+		t.Fatalf("flood rounds = %d, eccentricity = %d", stats.Rounds, ecc)
+	}
+}
+
+// TestPipeliningCharge: sending k messages over one edge must take
+// exactly k rounds — the per-edge FIFO models CONGEST bandwidth.
+func TestPipeliningCharge(t *testing.T) {
+	g := graph.Path(2)
+	const k = 25
+	stats, err := Run(g, Options{}, func(nd *Node) {
+		if nd.ID() == 0 {
+			for i := 0; i < k; i++ {
+				nd.Send(0, Message{Kind: kindData, A: int64(i)})
+			}
+			return
+		}
+		for i := 0; i < k; i++ {
+			_, m := nd.Recv(MatchKind(kindData))
+			if m.A != int64(i) {
+				panic("FIFO order violated")
+			}
+			if nd.Round() != i+1 {
+				panic("pipelining round charge wrong")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != k {
+		t.Fatalf("pipelined transfer rounds = %d, want %d", stats.Rounds, k)
+	}
+}
+
+// TestUnboundedDelivery: with Options.Unbounded the same transfer takes
+// one round (LOCAL-model ablation).
+func TestUnboundedDelivery(t *testing.T) {
+	g := graph.Path(2)
+	const k = 25
+	stats, err := Run(g, Options{Unbounded: true}, func(nd *Node) {
+		if nd.ID() == 0 {
+			for i := 0; i < k; i++ {
+				nd.Send(0, Message{Kind: kindData, A: int64(i)})
+			}
+			return
+		}
+		for i := 0; i < k; i++ {
+			nd.Recv(MatchKind(kindData))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 1 {
+		t.Fatalf("unbounded transfer rounds = %d, want 1", stats.Rounds)
+	}
+}
+
+// TestSleepFastForward: idle sleeping must advance the round counter
+// without per-round work, and Sleep must wake at the exact round.
+func TestSleepFastForward(t *testing.T) {
+	g := graph.Path(3)
+	const target = 1000
+	stats, err := Run(g, Options{}, func(nd *Node) {
+		nd.Sleep(target)
+		if nd.Round() != target {
+			panic("woke at wrong round")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != target {
+		t.Fatalf("rounds = %d, want %d", stats.Rounds, target)
+	}
+	if stats.Wakeups > 10 {
+		t.Fatalf("fast-forward did %d wakeups; idle rounds were not skipped", stats.Wakeups)
+	}
+}
+
+// TestSelectiveReceive: messages of a later kind must not disturb a
+// Recv waiting for an earlier kind, and stay buffered for later.
+func TestSelectiveReceive(t *testing.T) {
+	g := graph.Path(2)
+	_, err := Run(g, Options{}, func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(0, Message{Kind: kindData, A: 99}) // arrives first
+			nd.Send(0, Message{Kind: kindToken, A: 1}) // arrives second
+			return
+		}
+		_, m := nd.Recv(MatchKind(kindToken)) // waits past the data msg
+		if m.A != 1 {
+			panic("wrong token")
+		}
+		_, m2 := nd.Recv(MatchKind(kindData))
+		if m2.A != 99 {
+			panic("buffered data lost")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	g := graph.Path(2)
+	_, err := Run(g, Options{}, func(nd *Node) {
+		nd.Recv(MatchKind(kindToken)) // nobody ever sends
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	g := graph.Cycle(4)
+	_, err := Run(g, Options{}, func(nd *Node) {
+		if nd.ID() == 2 {
+			panic("boom")
+		}
+		nd.Recv(MatchKind(kindToken))
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	if pe.Node != 2 || !strings.Contains(pe.Error(), "boom") {
+		t.Fatalf("wrong panic attribution: %v", pe)
+	}
+}
+
+func TestMaxRoundsAborts(t *testing.T) {
+	g := graph.Path(2)
+	_, err := Run(g, Options{MaxRounds: 10}, func(nd *Node) {
+		for {
+			if nd.ID() == 0 {
+				nd.Send(0, Message{Kind: kindToken})
+				nd.RecvKindTag(kindToken, 0)
+			} else {
+				nd.RecvKindTag(kindToken, 0)
+				nd.Send(0, Message{Kind: kindToken})
+			}
+		}
+	})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+// TestDeterminism: identical runs produce identical stats, including on
+// graphs where many nodes are active simultaneously with RNG use.
+func TestDeterminism(t *testing.T) {
+	g := graph.GNP(40, 0.2, 3)
+	run := func() *Stats {
+		stats, err := Run(g, Options{Seed: 5}, func(nd *Node) {
+			// Send a random number of data messages to every neighbor,
+			// then an end marker; consume until every port delivered
+			// its marker. Terminates regardless of scheduling.
+			reps := 2 + nd.Rand().Intn(3)
+			for i := 0; i < reps; i++ {
+				nd.SendAll(Message{Kind: kindData, Tag: uint32(i), A: int64(nd.ID())})
+			}
+			nd.SendAll(Message{Kind: kindToken})
+			for markers := 0; markers < nd.Degree(); {
+				_, m := nd.Recv(MatchAny)
+				if m.Kind == kindToken {
+					markers++
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds || a.Sent != b.Sent || a.Delivered != b.Delivered || a.Wakeups != b.Wakeups {
+		t.Fatalf("non-deterministic runs: %v vs %v", a, b)
+	}
+}
+
+// TestMarkPhases: phase accounting via begin:/end: marks.
+func TestMarkPhases(t *testing.T) {
+	g := graph.Path(2)
+	stats, err := Run(g, Options{}, func(nd *Node) {
+		if nd.ID() != 0 {
+			nd.RecvKindTag(kindData, 0)
+			return
+		}
+		nd.Mark("begin:xfer")
+		nd.Send(0, Message{Kind: kindData})
+		nd.Sleep(5)
+		nd.Mark("end:xfer")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := stats.PhaseRounds()
+	if spans["xfer"] != 5 {
+		t.Fatalf("phase span = %d, want 5", spans["xfer"])
+	}
+}
+
+// Property test: queue preserves FIFO order under interleaved push/pop
+// and removeAt of matching elements.
+func TestQueueProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var q queue
+		var model []Message
+		next := int64(0)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				m := Message{A: next}
+				next++
+				q.push(m)
+				model = append(model, m)
+			case 1:
+				gm, gok := q.pop()
+				if len(model) == 0 {
+					if gok {
+						return false
+					}
+					continue
+				}
+				wm := model[0]
+				model = model[1:]
+				if !gok || gm != wm {
+					return false
+				}
+			case 2:
+				if q.len() == 0 {
+					continue
+				}
+				i := int(op) % q.len()
+				gm := q.removeAt(i)
+				wm := model[i]
+				model = append(model[:i], model[i+1:]...)
+				if gm != wm {
+					return false
+				}
+			}
+		}
+		if q.len() != len(model) {
+			return false
+		}
+		for i := range model {
+			if q.at(i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightsAndTopologyVisible: node programs see neighbor IDs, edge
+// weights, and edge IDs consistent with the input graph.
+func TestWeightsAndTopologyVisible(t *testing.T) {
+	g := graph.AssignWeights(graph.Cycle(6), 2, 9, 4)
+	_, err := Run(g, Options{}, func(nd *Node) {
+		for p := 0; p < nd.Degree(); p++ {
+			e := g.Edge(nd.EdgeID(p))
+			if e.Other(nd.ID()) != nd.Peer(p) || e.W != nd.EdgeWeight(p) {
+				panic("topology view inconsistent")
+			}
+			if nd.PortTo(nd.Peer(p)) != p {
+				panic("PortTo inconsistent")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

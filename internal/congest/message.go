@@ -1,0 +1,81 @@
+// Package congest simulates the synchronous CONGEST message-passing
+// model [Pel00]: n nodes with unique IDs, one goroutine per node,
+// communication in synchronous rounds where each node may send one
+// O(log n)-bit message per incident edge per round.
+//
+// # Execution model
+//
+// Node programs are ordinary blocking Go code. A node stages outgoing
+// messages with Send (one per-port FIFO each; the runtime transmits the
+// head of each FIFO every round, so multi-message transfers are
+// automatically pipelined and pay their true round cost), then blocks in
+// Recv or Sleep. A coordinator advances the global round only when every
+// node is parked, delivers the head of every non-empty edge queue,
+// and wakes exactly the nodes whose receive predicate is now satisfied
+// or whose sleep deadline passed. Rounds with no traffic and no due
+// wake-ups are fast-forwarded, so simulation cost is proportional to
+// message count, not n x rounds.
+//
+// # Determinism
+//
+// Woken goroutines run concurrently but touch only their own node
+// state; message delivery and round advancement happen while all nodes
+// are parked. Per-node RNGs are seeded from Options.Seed and the node
+// ID. Two runs with the same graph, options, and program are identical.
+//
+// # Model fidelity
+//
+// Messages are a fixed struct of one kind byte, one 32-bit tag, and four
+// 64-bit words — O(log n) bits for every workload in this repository
+// (IDs < n, weights and aggregates polynomially bounded). Nodes know
+// their own ID, their neighbors' IDs, incident edge weights (the
+// paper's KT1-style assumption: "initially knows the weights of edges
+// incident to it"), and n. Unbounded local computation per round is
+// free, as in CONGEST.
+package congest
+
+// Message is the unit of communication: a kind (protocol opcode), a tag
+// (protocol instance / epoch, so that consecutive uses of a primitive
+// never confuse each other's traffic), and four payload words. Total
+// size is O(log n) bits in every use in this repository.
+type Message struct {
+	Kind uint8
+	Tag  uint32
+	A    int64
+	B    int64
+	C    int64
+	D    int64
+}
+
+// PayloadWords is the number of int64 payload words per message, used
+// for bit accounting in Stats.
+const PayloadWords = 4
+
+// MatchFunc decides whether a buffered or newly delivered message
+// satisfies a pending Recv. It must be a pure function of its arguments:
+// the coordinator evaluates it while the owning node is parked.
+type MatchFunc func(port int, m Message) bool
+
+// MatchAny accepts every message.
+func MatchAny(int, Message) bool { return true }
+
+// MatchKind accepts messages with the given kind.
+func MatchKind(kind uint8) MatchFunc {
+	return func(_ int, m Message) bool { return m.Kind == kind }
+}
+
+// MatchKindTag accepts messages with the given kind and tag.
+func MatchKindTag(kind uint8, tag uint32) MatchFunc {
+	return func(_ int, m Message) bool { return m.Kind == kind && m.Tag == tag }
+}
+
+// MatchPort accepts any message arriving on the given port.
+func MatchPort(port int) MatchFunc {
+	return func(p int, _ Message) bool { return p == port }
+}
+
+// MatchKindTagPort accepts messages with the given kind and tag on one
+// specific port.
+func MatchKindTagPort(kind uint8, tag uint32, port int) MatchFunc {
+	return func(p int, m Message) bool { return p == port && m.Kind == kind && m.Tag == tag }
+}

@@ -1,0 +1,185 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"distmincut/internal/graph"
+)
+
+type nodePhase int
+
+const (
+	phaseRunning nodePhase = iota + 1
+	phaseRecv
+	phaseSleep
+	phaseDone
+)
+
+// Node is the per-processor handle passed to the node program. All
+// methods must be called only from that node's goroutine.
+type Node struct {
+	id  graph.NodeID
+	eng *Engine
+	adj []graph.Half
+	rng *rand.Rand
+
+	outQ []queue // staged sends, one FIFO per port; head transmitted each round
+	inQ  []queue // received but not yet consumed, one FIFO per port
+
+	phase    nodePhase
+	match    MatchFunc // valid while phase == phaseRecv
+	wakeAt   int       // valid while phase == phaseSleep
+	parkGen  int       // incremented on every park; invalidates stale sleeper heap entries
+	wakeCh   chan struct{}
+	panicVal any
+
+	nonEmptyOut int // number of ports with staged messages (node-local view)
+}
+
+// ID returns this node's unique identifier.
+func (nd *Node) ID() graph.NodeID { return nd.id }
+
+// N returns the number of nodes in the network.
+func (nd *Node) N() int { return len(nd.eng.nodes) }
+
+// Degree returns the number of incident edges (ports).
+func (nd *Node) Degree() int { return len(nd.adj) }
+
+// Peer returns the ID of the neighbor across port p.
+func (nd *Node) Peer(p int) graph.NodeID { return nd.adj[p].Peer }
+
+// EdgeWeight returns the weight of the edge at port p.
+func (nd *Node) EdgeWeight(p int) int64 { return nd.adj[p].W }
+
+// EdgeID returns the graph edge ID of the edge at port p.
+func (nd *Node) EdgeID(p int) int { return nd.adj[p].EdgeID }
+
+// PortTo returns the port leading to neighbor v, or -1 if v is not a
+// neighbor.
+func (nd *Node) PortTo(v graph.NodeID) int {
+	for p, h := range nd.adj {
+		if h.Peer == v {
+			return p
+		}
+	}
+	return -1
+}
+
+// Rand returns this node's private deterministic RNG.
+func (nd *Node) Rand() *rand.Rand { return nd.rng }
+
+// Round returns the current global round number.
+func (nd *Node) Round() int { return nd.eng.round }
+
+// Send stages a message on port p. The runtime transmits the head of
+// each port's FIFO once per round, so k messages staged on one port
+// arrive over k consecutive rounds (pipelining with its true round
+// cost). Sends become visible to the network from the next round after
+// the node parks.
+func (nd *Node) Send(p int, m Message) {
+	if p < 0 || p >= len(nd.adj) {
+		panic(fmt.Sprintf("congest: node %d Send on invalid port %d (degree %d)", nd.id, p, len(nd.adj)))
+	}
+	if nd.outQ[p].len() == 0 {
+		nd.nonEmptyOut++
+		nd.eng.outPending.Add(1)
+	}
+	nd.outQ[p].push(m)
+	nd.eng.sent.Add(1)
+}
+
+// SendAll stages the same message on every port.
+func (nd *Node) SendAll(m Message) {
+	for p := range nd.adj {
+		nd.Send(p, m)
+	}
+}
+
+// TryRecv consumes and returns the first buffered message (lowest port,
+// FIFO within a port) matching match, without blocking.
+func (nd *Node) TryRecv(match MatchFunc) (int, Message, bool) {
+	for p := range nd.inQ {
+		q := &nd.inQ[p]
+		for i := 0; i < q.len(); i++ {
+			if match(p, q.at(i)) {
+				return p, q.removeAt(i), true
+			}
+		}
+	}
+	return 0, Message{}, false
+}
+
+// Recv blocks until a message matching match is available, then
+// consumes and returns it. Non-matching messages stay buffered for
+// later Recv calls (selective receive).
+func (nd *Node) Recv(match MatchFunc) (int, Message) {
+	if p, m, ok := nd.TryRecv(match); ok {
+		return p, m
+	}
+	nd.match = match
+	nd.park(phaseRecv)
+	p, m, ok := nd.TryRecv(match)
+	if !ok {
+		panic(fmt.Sprintf("congest: node %d woken from Recv with no matching message", nd.id))
+	}
+	return p, m
+}
+
+// RecvKindTag is Recv with a MatchKindTag predicate.
+func (nd *Node) RecvKindTag(kind uint8, tag uint32) (int, Message) {
+	return nd.Recv(MatchKindTag(kind, tag))
+}
+
+// Sleep parks the node for the given number of rounds (at least one).
+// It is the mechanism for "wait out" protocol phases with known bounds.
+func (nd *Node) Sleep(rounds int) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	nd.wakeAt = nd.eng.round + rounds
+	nd.park(phaseSleep)
+}
+
+// Mark records a named timestamp (current round) in the run's stats.
+// Typically called by one designated node at phase boundaries.
+func (nd *Node) Mark(label string) {
+	nd.eng.mark(label, nd.id)
+}
+
+// park hands control back to the coordinator and blocks until woken.
+func (nd *Node) park(ph nodePhase) {
+	nd.parkGen++
+	nd.phase = ph
+	nd.eng.parked <- nd
+	<-nd.wakeCh
+	if nd.eng.aborted.Load() {
+		panic(errAborted)
+	}
+}
+
+// leftover returns the number of unconsumed received messages; used for
+// end-of-run accounting.
+func (nd *Node) leftover() int64 {
+	var s int64
+	for p := range nd.inQ {
+		s += int64(nd.inQ[p].len())
+	}
+	return s
+}
+
+// errAborted is the sentinel panic value used to unwind node goroutines
+// when the engine aborts (another node panicked or limits exceeded).
+var errAborted = &abortSentinel{}
+
+type abortSentinel struct{}
+
+func (*abortSentinel) Error() string { return "congest: run aborted" }
+
+// outPendingCounter is a tiny wrapper so Engine can embed an atomic
+// counter without exposing sync/atomic in its API surface.
+type outPendingCounter struct{ v atomic.Int64 }
+
+func (c *outPendingCounter) Add(d int64) { c.v.Add(d) }
+func (c *outPendingCounter) Load() int64 { return c.v.Load() }

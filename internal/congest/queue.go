@@ -1,0 +1,45 @@
+package congest
+
+// queue is a FIFO of messages with amortized O(1) push/pop and support
+// for removing an element at an arbitrary index (selective receive).
+type queue struct {
+	buf  []Message
+	head int
+}
+
+func (q *queue) push(m Message) { q.buf = append(q.buf, m) }
+
+func (q *queue) len() int { return len(q.buf) - q.head }
+
+// at returns the i-th element in FIFO order without removing it.
+func (q *queue) at(i int) Message { return q.buf[q.head+i] }
+
+// pop removes and returns the head.
+func (q *queue) pop() (Message, bool) {
+	if q.len() == 0 {
+		return Message{}, false
+	}
+	m := q.buf[q.head]
+	q.head++
+	q.maybeCompact()
+	return m, true
+}
+
+// removeAt removes the i-th element in FIFO order, preserving the order
+// of the rest.
+func (q *queue) removeAt(i int) Message {
+	idx := q.head + i
+	m := q.buf[idx]
+	copy(q.buf[idx:], q.buf[idx+1:])
+	q.buf = q.buf[:len(q.buf)-1]
+	q.maybeCompact()
+	return m
+}
+
+func (q *queue) maybeCompact() {
+	if q.head > 64 && q.head*2 > len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+}

@@ -1,0 +1,71 @@
+package congest
+
+import (
+	"fmt"
+	"strings"
+
+	"distmincut/internal/graph"
+)
+
+// Mark is a named round timestamp recorded by a node program, used by
+// the experiment harness to attribute rounds to pipeline phases.
+type Mark struct {
+	Label string
+	Round int
+	Node  graph.NodeID
+}
+
+// Stats summarizes one simulation run.
+type Stats struct {
+	// Rounds is the index of the last round in which a message was
+	// delivered or a sleeping node was due — the CONGEST time
+	// complexity of the run.
+	Rounds int
+	// Sent counts messages staged by node programs; Delivered counts
+	// messages actually transmitted (equal unless the run aborted).
+	Sent      int64
+	Delivered int64
+	// Wakeups counts node activations; the simulator's work is
+	// proportional to this plus Delivered, independent of idle rounds.
+	Wakeups int64
+	// Leftover counts messages delivered but never consumed by a Recv.
+	// Protocols in this repository are expected to drain their traffic;
+	// tests assert Leftover == 0.
+	Leftover int64
+	// Marks are the phase timestamps recorded via Node.Mark.
+	Marks []Mark
+}
+
+// MessageBits returns the total bits transmitted, charging each message
+// its full fixed-format size (kind byte + tag + payload words).
+func (s *Stats) MessageBits() int64 {
+	const bitsPerMessage = 8 + 32 + 64*PayloadWords
+	return s.Delivered * bitsPerMessage
+}
+
+// PhaseRounds extracts, for consecutive marks with the same label
+// prefix "begin:"/"end:", the round span of each phase. Unpaired marks
+// are ignored.
+func (s *Stats) PhaseRounds() map[string]int {
+	begin := map[string]int{}
+	spans := map[string]int{}
+	for _, m := range s.Marks {
+		switch {
+		case strings.HasPrefix(m.Label, "begin:"):
+			begin[m.Label[len("begin:"):]] = m.Round
+		case strings.HasPrefix(m.Label, "end:"):
+			name := m.Label[len("end:"):]
+			if b, ok := begin[name]; ok {
+				spans[name] += m.Round - b
+				delete(begin, name)
+			}
+		}
+	}
+	return spans
+}
+
+// String renders a one-line summary.
+func (s *Stats) String() string {
+	return fmt.Sprintf("rounds=%d sent=%d delivered=%d wakeups=%d leftover=%d",
+		s.Rounds, s.Sent, s.Delivered, s.Wakeups, s.Leftover)
+}

@@ -1,0 +1,136 @@
+package graph
+
+// Sequential structural analysis used for workload characterization and
+// verification. Nothing here is part of the distributed algorithm; the
+// experiment harness uses these to report n, m, D, λ ground truth.
+
+// BFS returns the hop distances from src (-1 for unreachable nodes) and
+// a BFS parent array (parent[src] = -1, parent[v] = -1 if unreachable).
+func BFS(g *Graph, src NodeID) (dist []int, parent []NodeID) {
+	n := g.N()
+	dist = make([]int, n)
+	parent = make([]NodeID, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Adj(u) {
+			if dist[h.Peer] == -1 {
+				dist[h.Peer] = dist[u] + 1
+				parent[h.Peer] = u
+				queue = append(queue, h.Peer)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// components labels connected components 0..k-1 and returns the label
+// array and k.
+func components(g *Graph) ([]int, int) {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	k := 0
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		stack := []NodeID{NodeID(s)}
+		comp[s] = k
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range g.Adj(u) {
+				if comp[h.Peer] == -1 {
+					comp[h.Peer] = k
+					stack = append(stack, h.Peer)
+				}
+			}
+		}
+		k++
+	}
+	return comp, k
+}
+
+// Components labels connected components 0..k-1 and returns the label
+// array and the number of components k.
+func Components(g *Graph) ([]int, int) { return components(g) }
+
+// IsConnected reports whether g is connected (the empty graph and the
+// single-node graph are connected).
+func IsConnected(g *Graph) bool {
+	if g.N() <= 1 {
+		return true
+	}
+	_, k := components(g)
+	return k == 1
+}
+
+// Eccentricity returns the maximum hop distance from src to any
+// reachable node.
+func Eccentricity(g *Graph, src NodeID) int {
+	dist, _ := BFS(g, src)
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact hop diameter by running a BFS from every
+// node. It is O(n·m); intended for n up to a few thousand, which covers
+// every workload in the experiment suite. Disconnected graphs return -1.
+func Diameter(g *Graph) int {
+	if !IsConnected(g) {
+		return -1
+	}
+	d := 0
+	for u := 0; u < g.N(); u++ {
+		if e := Eccentricity(g, NodeID(u)); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// DiameterLowerBound returns a fast two-sweep lower bound on the hop
+// diameter (exact on trees).
+func DiameterLowerBound(g *Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	dist, _ := BFS(g, 0)
+	far := NodeID(0)
+	for v, d := range dist {
+		if d > dist[far] {
+			far = NodeID(v)
+		}
+	}
+	return Eccentricity(g, far)
+}
+
+// MinDegree returns the minimum weighted degree, a trivial upper bound
+// on the minimum cut.
+func MinDegree(g *Graph) int64 {
+	if g.N() == 0 {
+		return 0
+	}
+	best := g.WeightedDegree(0)
+	for u := 1; u < g.N(); u++ {
+		if d := g.WeightedDegree(NodeID(u)); d < best {
+			best = d
+		}
+	}
+	return best
+}

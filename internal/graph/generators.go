@@ -1,0 +1,347 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators build the workload families used throughout the experiment
+// suite. All randomized generators take an explicit seed and are
+// deterministic for a given seed. All generators return unit-weight
+// graphs with sorted adjacency; use AssignWeights to randomize weights.
+
+// Path returns the path 0-1-...-n-1 (diameter n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(NodeID(i), NodeID(i+1), 1)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Cycle returns the n-cycle (min cut 2 with unit weights).
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.MustAddEdge(0, NodeID(n-1), 1)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Complete returns K_n (min cut n-1 with unit weights).
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(NodeID(i), NodeID(j), 1)
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Star returns a star with center 0 (min cut 1).
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, NodeID(i), 1)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Grid returns the r x c grid graph.
+func Grid(r, c int) *Graph {
+	g := New(r * c)
+	id := func(i, j int) NodeID { return NodeID(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.MustAddEdge(id(i, j), id(i, j+1), 1)
+			}
+			if i+1 < r {
+				g.MustAddEdge(id(i, j), id(i+1, j), 1)
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Torus returns the r x c torus (4-regular for r,c >= 3; min cut 4).
+func Torus(r, c int) *Graph {
+	if r < 3 || c < 3 {
+		panic(fmt.Sprintf("graph: Torus needs r,c >= 3, got %dx%d", r, c))
+	}
+	g := New(r * c)
+	id := func(i, j int) NodeID { return NodeID(((i+r)%r)*c + (j+c)%c) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			g.MustAddEdge(id(i, j), id(i, j+1), 1)
+			g.MustAddEdge(id(i, j), id(i+1, j), 1)
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes
+// (min cut d with unit weights).
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				g.MustAddEdge(NodeID(u), NodeID(v), 1)
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// GNP returns an Erdős–Rényi G(n,p) graph, augmented with a uniformly
+// random spanning-tree edge between components if the sample is
+// disconnected, so the result is always connected.
+func GNP(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(NodeID(i), NodeID(j), 1)
+			}
+		}
+	}
+	connect(g, rng)
+	g.SortAdjacency()
+	return g
+}
+
+// connect adds random edges between connected components until g is
+// connected. Each added edge joins a random node of the first component
+// with a random node of another.
+func connect(g *Graph, rng *rand.Rand) {
+	for {
+		comp, k := components(g)
+		if k <= 1 {
+			return
+		}
+		// Pick one random representative per component and chain them.
+		reps := make([][]NodeID, k)
+		for u := 0; u < g.n; u++ {
+			reps[comp[u]] = append(reps[comp[u]], NodeID(u))
+		}
+		for c := 1; c < k; c++ {
+			u := reps[0][rng.Intn(len(reps[0]))]
+			v := reps[c][rng.Intn(len(reps[c]))]
+			if !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, 1)
+			}
+		}
+	}
+}
+
+// RandomRegular returns a d-regular graph on n nodes via the
+// configuration model with restarts (pairing stubs, rejecting loops and
+// duplicates). n*d must be even and d < n.
+func RandomRegular(n, d int, seed int64) *Graph {
+	if n*d%2 != 0 || d >= n || d < 1 {
+		panic(fmt.Sprintf("graph: RandomRegular(%d,%d) infeasible", n, d))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; ; attempt++ {
+		if attempt > 1000 {
+			panic("graph: RandomRegular failed to converge")
+		}
+		stubs := make([]NodeID, 0, n*d)
+		for u := 0; u < n; u++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, NodeID(u))
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		g := New(n)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			g.MustAddEdge(u, v, 1)
+		}
+		if ok && IsConnected(g) {
+			g.SortAdjacency()
+			return g
+		}
+	}
+}
+
+// PlantedCut returns a graph with two dense clusters of sizes n1 and n2
+// joined by exactly k unit cross edges. Each cluster is a G(n,inP) kept
+// connected. For inP high enough the minimum cut is the k cross edges,
+// giving workloads with a known λ=k (verified against Stoer–Wagner in
+// tests). Side assignment: nodes 0..n1-1 form cluster A.
+func PlantedCut(n1, n2, k int, inP float64, seed int64) *Graph {
+	if k > n1*n2 {
+		panic("graph: PlantedCut k too large")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := n1 + n2
+	g := New(n)
+	addCluster := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < hi; j++ {
+				if rng.Float64() < inP {
+					g.MustAddEdge(NodeID(i), NodeID(j), 1)
+				}
+			}
+		}
+		// Spanning cycle to guarantee internal 2-edge-connectivity, so
+		// the planted cross cut is the minimum for k <= 2 as well.
+		for i := lo; i < hi; i++ {
+			j := i + 1
+			if j == hi {
+				j = lo
+			}
+			if i != j && !g.HasEdge(NodeID(i), NodeID(j)) {
+				g.MustAddEdge(NodeID(i), NodeID(j), 1)
+			}
+		}
+	}
+	addCluster(0, n1)
+	addCluster(n1, n)
+	added := 0
+	for added < k {
+		u := NodeID(rng.Intn(n1))
+		v := NodeID(n1 + rng.Intn(n2))
+		if !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, 1)
+			added++
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Barbell returns two K_k cliques joined by a path of pathLen
+// intermediate nodes (min cut 1).
+func Barbell(k, pathLen int) *Graph {
+	n := 2*k + pathLen
+	g := New(n)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.MustAddEdge(NodeID(i), NodeID(j), 1)
+			g.MustAddEdge(NodeID(k+pathLen+i), NodeID(k+pathLen+j), 1)
+		}
+	}
+	prev := NodeID(0)
+	for i := 0; i < pathLen; i++ {
+		g.MustAddEdge(prev, NodeID(k+i), 1)
+		prev = NodeID(k + i)
+	}
+	g.MustAddEdge(prev, NodeID(k+pathLen), 1)
+	g.SortAdjacency()
+	return g
+}
+
+// CliquePath returns cliques of size k arranged on a path, with adjacent
+// cliques joined by bridge unit edges. It gives precise diameter control
+// (D ≈ 2*numCliques) at fixed n = numCliques*k, used by experiment E6.
+// The minimum cut is bridge (the number of edges between adjacent
+// cliques) when bridge < k-1.
+func CliquePath(numCliques, k, bridge int) *Graph {
+	if bridge < 1 || bridge > k {
+		panic("graph: CliquePath bridge out of range")
+	}
+	n := numCliques * k
+	g := New(n)
+	for c := 0; c < numCliques; c++ {
+		base := c * k
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				g.MustAddEdge(NodeID(base+i), NodeID(base+j), 1)
+			}
+		}
+		if c+1 < numCliques {
+			for b := 0; b < bridge; b++ {
+				g.MustAddEdge(NodeID(base+b), NodeID(base+k+b), 1)
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// RandomTree returns a uniformly random recursive tree: node v>0 picks a
+// parent uniformly from 0..v-1.
+func RandomTree(n int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(NodeID(rng.Intn(v)), NodeID(v), 1)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// AssignWeights returns a copy of g with each edge weight drawn
+// uniformly from [lo, hi].
+func AssignWeights(g *Graph, lo, hi int64, seed int64) *Graph {
+	if lo < 1 || hi < lo {
+		panic("graph: AssignWeights needs 1 <= lo <= hi")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ws := make([]int64, g.M())
+	for i := range ws {
+		ws[i] = lo + rng.Int63n(hi-lo+1)
+	}
+	h, _ := g.Reweight(ws)
+	h.SortAdjacency()
+	return h
+}
+
+// RandomSpanningTree returns a uniformly random spanning tree of g
+// (Wilson's algorithm, loop-erased random walks) as a parent map rooted
+// at root: parent[root] = -1 and for every other node, parent[v] is the
+// neighbor of v on the tree path toward root. The returned edge IDs map
+// each non-root v to the graph edge {v, parent[v]}.
+func RandomSpanningTree(g *Graph, root NodeID, seed int64) (parent []NodeID, parentEdge []int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	parent = make([]NodeID, n)
+	parentEdge = make([]int, n)
+	for i := range parent {
+		parent[i] = -2 // not yet in tree
+		parentEdge[i] = -1
+	}
+	parent[root] = -1
+	next := make([]int, n) // port chosen during the current walk
+	for start := 0; start < n; start++ {
+		if parent[start] != -2 {
+			continue
+		}
+		// Random walk from start until hitting the tree, recording the
+		// last exit port from each visited node (loop erasure).
+		u := NodeID(start)
+		for parent[u] == -2 {
+			p := rng.Intn(g.Degree(u))
+			next[u] = p
+			u = g.Adj(u)[p].Peer
+		}
+		// Retrace the loop-erased path and attach it.
+		u = NodeID(start)
+		for parent[u] == -2 {
+			h := g.Adj(u)[next[u]]
+			parent[u] = h.Peer
+			parentEdge[u] = h.EdgeID
+			u = h.Peer
+		}
+	}
+	return parent, parentEdge
+}

@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPathProperties(t *testing.T) {
+	g := Path(10)
+	if g.M() != 9 {
+		t.Fatalf("Path(10) has %d edges, want 9", g.M())
+	}
+	if d := Diameter(g); d != 9 {
+		t.Fatalf("Path(10) diameter %d, want 9", d)
+	}
+}
+
+func TestCycleProperties(t *testing.T) {
+	g := Cycle(8)
+	if g.M() != 8 {
+		t.Fatalf("Cycle(8) has %d edges, want 8", g.M())
+	}
+	for u := 0; u < 8; u++ {
+		if g.Degree(NodeID(u)) != 2 {
+			t.Fatalf("Cycle node %d degree %d, want 2", u, g.Degree(NodeID(u)))
+		}
+	}
+	if d := Diameter(g); d != 4 {
+		t.Fatalf("Cycle(8) diameter %d, want 4", d)
+	}
+}
+
+func TestCompleteProperties(t *testing.T) {
+	g := Complete(6)
+	if g.M() != 15 {
+		t.Fatalf("K6 has %d edges, want 15", g.M())
+	}
+	if d := Diameter(g); d != 1 {
+		t.Fatalf("K6 diameter %d, want 1", d)
+	}
+	if md := MinDegree(g); md != 5 {
+		t.Fatalf("K6 min degree %d, want 5", md)
+	}
+}
+
+func TestStarProperties(t *testing.T) {
+	g := Star(7)
+	if g.M() != 6 || Diameter(g) != 2 {
+		t.Fatalf("Star(7): m=%d D=%d, want 6 and 2", g.M(), Diameter(g))
+	}
+}
+
+func TestGridTorusProperties(t *testing.T) {
+	g := Grid(4, 5)
+	if g.M() != 4*4+5*3 {
+		t.Fatalf("Grid(4,5) edges %d, want 31", g.M())
+	}
+	if d := Diameter(g); d != 7 {
+		t.Fatalf("Grid(4,5) diameter %d, want 7", d)
+	}
+	tor := Torus(4, 4)
+	for u := 0; u < tor.N(); u++ {
+		if tor.Degree(NodeID(u)) != 4 {
+			t.Fatalf("Torus node %d degree %d, want 4", u, tor.Degree(NodeID(u)))
+		}
+	}
+	if err := tor.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypercubeProperties(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("Q4: n=%d m=%d, want 16, 32", g.N(), g.M())
+	}
+	if d := Diameter(g); d != 4 {
+		t.Fatalf("Q4 diameter %d, want 4", d)
+	}
+}
+
+func TestGNPAlwaysConnected(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := GNP(50, 0.02, seed) // sparse enough to usually be disconnected pre-fix
+		if !IsConnected(g) {
+			t.Fatalf("GNP seed %d not connected", seed)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomRegularDegrees(t *testing.T) {
+	g := RandomRegular(30, 4, 7)
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(NodeID(u)) != 4 {
+			t.Fatalf("node %d degree %d, want 4", u, g.Degree(NodeID(u)))
+		}
+	}
+	if !IsConnected(g) {
+		t.Fatal("RandomRegular disconnected")
+	}
+}
+
+func TestPlantedCutCrossEdges(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		g := PlantedCut(20, 25, k, 0.3, int64(k))
+		side := make([]bool, g.N())
+		for i := 0; i < 20; i++ {
+			side[i] = true
+		}
+		if c := g.CutWeight(side); c != int64(k) {
+			t.Fatalf("PlantedCut k=%d has cross weight %d", k, c)
+		}
+		if !IsConnected(g) {
+			t.Fatalf("PlantedCut k=%d disconnected", k)
+		}
+	}
+}
+
+func TestBarbellBridge(t *testing.T) {
+	g := Barbell(6, 3)
+	if !IsConnected(g) {
+		t.Fatal("Barbell disconnected")
+	}
+	if md := MinDegree(g); md != 2 {
+		t.Fatalf("Barbell path node degree %d, want 2", md)
+	}
+}
+
+func TestCliquePathDiameter(t *testing.T) {
+	g := CliquePath(6, 8, 2)
+	if !IsConnected(g) {
+		t.Fatal("CliquePath disconnected")
+	}
+	d := Diameter(g)
+	if d < 6 || d > 16 {
+		t.Fatalf("CliquePath(6,8) diameter %d out of expected band [6,16]", d)
+	}
+	side := make([]bool, g.N())
+	for i := 0; i < 3*8; i++ {
+		side[i] = true
+	}
+	if c := g.CutWeight(side); c != 2 {
+		t.Fatalf("CliquePath middle cut weight %d, want 2", c)
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%60) + 2
+		g := RandomTree(n, seed)
+		return g.M() == n-1 && IsConnected(g) && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignWeightsRange(t *testing.T) {
+	g := AssignWeights(Cycle(12), 3, 9, 42)
+	for _, e := range g.Edges() {
+		if e.W < 3 || e.W > 9 {
+			t.Fatalf("weight %d outside [3,9]", e.W)
+		}
+	}
+}
+
+// Property: RandomSpanningTree returns a spanning tree: n-1 parent
+// edges, every node reaches the root, and every tree edge exists in g.
+func TestRandomSpanningTreeValid(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%40) + 2
+		g := GNP(n, 0.3, seed)
+		parent, parentEdge := RandomSpanningTree(g, 0, seed+1)
+		if parent[0] != -1 || parentEdge[0] != -1 {
+			return false
+		}
+		for v := 1; v < n; v++ {
+			e := g.Edge(parentEdge[v])
+			if e.Other(NodeID(v)) != parent[v] {
+				return false
+			}
+			// Walk to root with a step bound to catch cycles.
+			u, steps := NodeID(v), 0
+			for u != 0 {
+				u = parent[u]
+				if steps++; steps > n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiameterMatchesLowerBoundOnTrees(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := RandomTree(40, seed)
+		if Diameter(g) != DiameterLowerBound(g) {
+			t.Fatalf("two-sweep not exact on tree, seed %d", seed)
+		}
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Grid(3, 3)
+	dist, parent := BFS(g, 0)
+	if dist[8] != 4 {
+		t.Fatalf("BFS corner-to-corner distance %d, want 4", dist[8])
+	}
+	// Parent chain from 8 must reach 0 in exactly dist[8] hops.
+	u, hops := NodeID(8), 0
+	for u != 0 {
+		u = parent[u]
+		hops++
+	}
+	if hops != dist[8] {
+		t.Fatalf("parent chain length %d != dist %d", hops, dist[8])
+	}
+}
+
+func TestComponentsCount(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	_, k := Components(g)
+	if k != 4 { // {0,1}, {2,3}, {4}, {5}
+		t.Fatalf("Components = %d, want 4", k)
+	}
+}

@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeRejectsBadInput(t *testing.T) {
+	g := New(4)
+	cases := []struct {
+		name    string
+		u, v    NodeID
+		w       int64
+		wantErr bool
+	}{
+		{"ok", 0, 1, 5, false},
+		{"self loop", 2, 2, 1, true},
+		{"negative weight", 0, 2, -1, true},
+		{"zero weight", 0, 2, 0, true},
+		{"out of range", 0, 9, 1, true},
+		{"negative node", -1, 2, 1, true},
+		{"duplicate", 1, 0, 3, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := g.AddEdge(tc.u, tc.v, tc.w)
+			if tc.wantErr && !errors.Is(err, ErrBadEdge) {
+				t.Fatalf("AddEdge(%d,%d,%d) err = %v, want ErrBadEdge", tc.u, tc.v, tc.w, err)
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("AddEdge(%d,%d,%d) unexpected error: %v", tc.u, tc.v, tc.w, err)
+			}
+		})
+	}
+}
+
+func TestEdgeCanonicalOrder(t *testing.T) {
+	g := New(3)
+	id := g.MustAddEdge(2, 1, 7)
+	e := g.Edge(id)
+	if e.U != 1 || e.V != 2 || e.W != 7 {
+		t.Fatalf("edge stored as (%d,%d,%d), want (1,2,7)", e.U, e.V, e.W)
+	}
+	if e.Other(1) != 2 || e.Other(2) != 1 {
+		t.Fatalf("Other() inconsistent for edge %+v", e)
+	}
+}
+
+func TestWeightedDegreeAndTotal(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 3)
+	g.MustAddEdge(1, 2, 5)
+	if d := g.WeightedDegree(1); d != 8 {
+		t.Fatalf("WeightedDegree(1) = %d, want 8", d)
+	}
+	if tw := g.TotalWeight(); tw != 8 {
+		t.Fatalf("TotalWeight = %d, want 8", tw)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Cycle(5)
+	c := g.Clone()
+	c.MustAddEdge(0, 2, 9)
+	if g.M() == c.M() {
+		t.Fatal("mutating clone changed original edge count")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("original invalid after clone mutation: %v", err)
+	}
+}
+
+func TestReweightDropsZeroEdges(t *testing.T) {
+	g := Cycle(4)
+	ws := []int64{1, 0, 2, 3}
+	h, origin := g.Reweight(ws)
+	if h.M() != 3 {
+		t.Fatalf("Reweight kept %d edges, want 3", h.M())
+	}
+	for newID, oldID := range origin {
+		oe, ne := g.Edge(oldID), h.Edge(newID)
+		if oe.U != ne.U || oe.V != ne.V {
+			t.Fatalf("origin map wrong: new %v from old %v", ne, oe)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("reweighted graph invalid: %v", err)
+	}
+}
+
+func TestPortOf(t *testing.T) {
+	g := Path(4)
+	e := g.Edges()[1] // {1,2}
+	p := g.PortOf(1, e.ID)
+	if p < 0 || g.Adj(1)[p].Peer != 2 {
+		t.Fatalf("PortOf(1, edge{1,2}) = %d, wrong port", p)
+	}
+	if g.PortOf(3, e.ID) != -1 {
+		t.Fatal("PortOf on non-incident node should be -1")
+	}
+}
+
+func TestCutWeight(t *testing.T) {
+	g := Cycle(6)
+	side := make([]bool, 6)
+	side[0], side[1], side[2] = true, true, true
+	if c := g.CutWeight(side); c != 2 {
+		t.Fatalf("CutWeight of contiguous arc on C6 = %d, want 2", c)
+	}
+	all := make([]bool, 6)
+	if c := g.CutWeight(all); c != 0 {
+		t.Fatalf("CutWeight of empty side = %d, want 0", c)
+	}
+}
+
+// Property: for random graphs, Validate passes, every node's weighted
+// degree sums to twice the total weight, and adjacency is symmetric.
+func TestRandomGraphInvariants(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawP uint8) bool {
+		n := int(rawN%40) + 2
+		p := float64(rawP%90)/100 + 0.05
+		g := GNP(n, p, seed)
+		if err := g.Validate(); err != nil {
+			t.Logf("Validate: %v", err)
+			return false
+		}
+		var degSum int64
+		for u := 0; u < n; u++ {
+			degSum += g.WeightedDegree(NodeID(u))
+		}
+		if degSum != 2*g.TotalWeight() {
+			t.Logf("handshake lemma violated: %d != 2*%d", degSum, g.TotalWeight())
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for _, h := range g.Adj(NodeID(u)) {
+				if !g.HasEdge(NodeID(u), h.Peer) {
+					return false
+				}
+			}
+		}
+		return IsConnected(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CutWeight(side) == CutWeight(complement of side).
+func TestCutWeightComplementSymmetry(t *testing.T) {
+	f := func(seed int64, rawN uint8, mask uint64) bool {
+		n := int(rawN%30) + 2
+		g := GNP(n, 0.3, seed)
+		side := make([]bool, n)
+		comp := make([]bool, n)
+		for i := 0; i < n; i++ {
+			side[i] = mask>>(uint(i)%64)&1 == 1
+			comp[i] = !side[i]
+		}
+		return g.CutWeight(side) == g.CutWeight(comp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cut weights are subadditive under symmetric difference for
+// disjoint singleton moves: moving one node changes the cut by exactly
+// (crossing delta), checked via direct recomputation.
+func TestCutWeightSingleFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(20) + 3
+		g := GNP(n, 0.4, rng.Int63())
+		side := make([]bool, n)
+		for i := range side {
+			side[i] = rng.Intn(2) == 0
+		}
+		before := g.CutWeight(side)
+		v := NodeID(rng.Intn(n))
+		var toSame, toOther int64
+		for _, h := range g.Adj(v) {
+			if side[h.Peer] == side[v] {
+				toSame += h.W
+			} else {
+				toOther += h.W
+			}
+		}
+		side[v] = !side[v]
+		after := g.CutWeight(side)
+		if after != before+toSame-toOther {
+			t.Fatalf("flip delta wrong: before=%d after=%d same=%d other=%d", before, after, toSame, toOther)
+		}
+	}
+}

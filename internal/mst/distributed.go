@@ -1,0 +1,704 @@
+package mst
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distmincut/internal/congest"
+	"distmincut/internal/graph"
+	"distmincut/internal/proto"
+)
+
+// Message kinds (0x30 range).
+const (
+	kindFragEx    uint8 = 0x30 + iota // fragment-ID exchange: A=fragID, B=logicalID
+	kindPropose                       // merge proposal over the MOE edge
+	kindNoPropose                     // explicit "no proposal" so accounting closes
+	kindAccept                        // proposal accepted: A = acceptor fragment ID
+	kindReject                        // proposal rejected
+	kindWave                          // intra-fragment outcome wave: A=1 reorient, B=new frag ID
+)
+
+// InterEdge is one MST edge between two Part-1 fragments. After Run,
+// every node holds the identical sorted list of all inter-fragment
+// edges — the fragment tree T_F of the paper's Step 1.
+type InterEdge struct {
+	U, V         graph.NodeID
+	FragU, FragV int64
+}
+
+// Result is one node's local output of the distributed MST+rooting.
+type Result struct {
+	// ParentPort/ChildPorts orient the MST rooted at node 0 (ParentPort
+	// is -1 at node 0).
+	ParentPort int
+	ChildPorts []int
+	// FragID identifies this node's Part-1 fragment; FragRootID is the
+	// fragment's internal root (the attachment node nearest the global
+	// root, the paper's r_i).
+	FragID     int64
+	FragRootID graph.NodeID
+	// FragParentPort/FragChildPorts orient the fragment-internal
+	// subtree (FragParentPort is -1 at the fragment root).
+	FragParentPort int
+	FragChildPorts []int
+	// InterEdges is the full inter-fragment edge list, identical at
+	// every node; RootFrag is the fragment containing node 0.
+	InterEdges []InterEdge
+	RootFrag   int64
+	// FragParent maps each fragment to its parent fragment in the
+	// rooted fragment forest (component roots map to -1). Identical at
+	// every node.
+	FragParent map[int64]int64
+	// AllFrags is the census of every fragment ID, identical at every
+	// node. Connected reports whether the (possibly reweighted) graph
+	// was connected; if false, the result is a rooted spanning forest
+	// and ParentPort is -1 at each component's root.
+	AllFrags  []int64
+	Connected bool
+}
+
+// TreePorts returns all ports of this node that carry MST edges.
+func (r *Result) TreePorts() []int {
+	ports := append([]int(nil), r.ChildPorts...)
+	if r.ParentPort >= 0 {
+		ports = append(ports, r.ParentPort)
+	}
+	sort.Ints(ports)
+	return ports
+}
+
+// SizeCap returns the paper's fragment size threshold √n.
+func SizeCap(n int) int {
+	c := int(math.Ceil(math.Sqrt(float64(n))))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Run executes the full distributed MST pipeline on one node: Part 1
+// (controlled Borůvka up to the size cap), Part 2 (root-coordinated
+// Borůvka over the fragment graph), and the Õ(√n + D) rooting of the
+// resulting tree at node 0. bfs must be a BFS overlay rooted at node 0.
+// loads maps incident edge IDs to packing loads (may be nil). tagBase
+// reserves the tag range [tagBase, tagBase+8192) for this invocation.
+func Run(nd *congest.Node, bfs *proto.Overlay, loads map[int]int64, sizeCap int, tagBase uint32) *Result {
+	return RunWeighted(nd, bfs, loads, nil, sizeCap, tagBase)
+}
+
+// RunWeighted is Run with a per-port weight override: weight(p) <= 0
+// means the edge at port p is absent (used by Karger-sampled skeleton
+// graphs, which may be disconnected — the result is then a rooted
+// spanning forest with Connected = false). A nil weight uses the
+// underlying edge weights.
+func RunWeighted(nd *congest.Node, bfs *proto.Overlay, loads map[int]int64, weight func(p int) int64, sizeCap int, tagBase uint32) *Result {
+	r := &runner{nd: nd, bfs: bfs, loads: loads, weight: weight, cap: sizeCap, tag: tagBase}
+	if r.cap < 1 {
+		r.cap = SizeCap(nd.N())
+	}
+	st := r.part1()
+	inter := r.part2(st)
+	return r.root(st, inter)
+}
+
+// TagSpan is the tag range reserved by one Run invocation.
+const TagSpan = 8192
+
+// runner bundles per-node state for one MST invocation.
+type runner struct {
+	nd     *congest.Node
+	bfs    *proto.Overlay
+	loads  map[int]int64
+	weight func(p int) int64
+	cap    int
+	tag    uint32
+}
+
+func (r *runner) load(port int) int64 {
+	if r.loads == nil {
+		return 0
+	}
+	return r.loads[r.nd.EdgeID(port)]
+}
+
+// w returns the effective weight of the edge at port p; <= 0 means the
+// edge is absent from the (sampled) graph.
+func (r *runner) w(port int) int64 {
+	if r.weight == nil {
+		return r.nd.EdgeWeight(port)
+	}
+	return r.weight(port)
+}
+
+// keyItem encodes an MOE candidate as a 4-word item:
+// A=load, B=weight, C=packed endpoints, D=packed target (logical<<31|phys).
+var noneItem = proto.Item{A: math.MaxInt64}
+
+func isNone(it proto.Item) bool { return it.A == math.MaxInt64 }
+
+func betterCand(a, b proto.Item) proto.Item {
+	if isNone(a) {
+		return b
+	}
+	if isNone(b) {
+		return a
+	}
+	ka := Key{Load: a.A, W: a.B, UV: a.C}
+	kb := Key{Load: b.A, W: b.B, UV: b.C}
+	if kb.Less(ka) {
+		return b
+	}
+	return a
+}
+
+// p1state is the node's fragment-local view during Part 1.
+type p1state struct {
+	fragID     int64
+	parentPort int
+	childPorts []int
+}
+
+func (s *p1state) overlay() *proto.Overlay {
+	return proto.NewOverlay(s.parentPort, s.childPorts, 0)
+}
+
+func (s *p1state) ports() []int {
+	ports := append([]int(nil), s.childPorts...)
+	if s.parentPort >= 0 {
+		ports = append(ports, s.parentPort)
+	}
+	sort.Ints(ports)
+	return ports
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// part1 grows MST fragments until every fragment has at least cap
+// nodes (or spans the graph). Merge structures are depth-one stars:
+// unsaturated tail fragments propose along their minimum outgoing
+// edge; saturated fragments and unsaturated heads accept.
+func (r *runner) part1() *p1state {
+	nd := r.nd
+	st := &p1state{fragID: int64(nd.ID()), parentPort: -1}
+	maxIter := 60 + 14*bitlen(nd.N())
+	if maxIter*16 >= 4096 {
+		maxIter = 4096/16 - 1 // keep part-1 tags below the part-2 range
+	}
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			panic(fmt.Sprintf("mst: part 1 did not converge after %d iterations", iter))
+		}
+		tag := r.tag + uint32(iter)*16
+		ov := st.overlay()
+
+		// Fragment size, saturation, and the root's coin, shared
+		// fragment-wide in one converge + one broadcast.
+		size, _ := proto.Converge(nd, ov, tag+0, 1, proto.Sum)
+		var ctl int64
+		if ov.Root {
+			ctl = b2i(size >= int64(r.cap)) | b2i(nd.Rand().Intn(2) == 1)<<1
+		}
+		ctl = proto.Broadcast(nd, ov, tag+1, ctl)
+		saturated := ctl&1 != 0
+		coinTail := ctl&2 != 0
+
+		// Exchange fragment IDs with all neighbors.
+		nd.SendAll(congest.Message{Kind: kindFragEx, Tag: tag + 4, A: st.fragID})
+		peerFrag := make([]int64, nd.Degree())
+		for i := 0; i < nd.Degree(); i++ {
+			p, m := nd.Recv(congest.MatchKindTag(kindFragEx, tag+4))
+			peerFrag[p] = m.A
+		}
+
+		// Local minimum outgoing edge, then fragment-wide MOE (skipped
+		// by saturated fragments, which never propose). Absent edges
+		// (weight <= 0 under a sampled view) are never candidates.
+		cand, candPort := noneItem, -1
+		for p := 0; p < nd.Degree(); p++ {
+			if peerFrag[p] == st.fragID || r.w(p) <= 0 {
+				continue
+			}
+			it := proto.Item{
+				A: r.load(p),
+				B: r.w(p),
+				C: PackUV(nd.ID(), nd.Peer(p)),
+				D: peerFrag[p],
+			}
+			if isNone(cand) || betterCand(cand, it) == it {
+				cand, candPort = it, p
+			}
+		}
+		var moe proto.Item = noneItem
+		if !saturated {
+			moe, _ = proto.ConvergeItem(nd, ov, tag+5, cand, betterCand)
+		}
+
+		// Global termination: a fragment blocks completion only if it
+		// is unsaturated AND still has an outgoing edge. Isolated small
+		// fragments (possible under sampled views) stop growing.
+		unsat := int64(0)
+		if ov.Root && !saturated && !isNone(moe) {
+			unsat = 1
+		}
+		if proto.ConvergeBroadcast(nd, r.bfs, tag+2, unsat, proto.Sum) == 0 {
+			return st
+		}
+
+		proposing := false
+		var moeUV int64
+		if !saturated {
+			var dec proto.Item
+			if ov.Root {
+				dec = proto.Item{A: b2i(coinTail && !isNone(moe)), B: moe.C}
+			}
+			dec = proto.BroadcastItem(nd, ov, tag+6, dec)
+			proposing = dec.A == 1
+			moeUV = dec.B
+		}
+
+		// One PROPOSE/NOPROPOSE per port, then one reply per PROPOSE.
+		myProposePort := -1
+		for p := 0; p < nd.Degree(); p++ {
+			if proposing && p == candPort && cand.C == moeUV {
+				myProposePort = p
+				nd.Send(p, congest.Message{Kind: kindPropose, Tag: tag + 7, A: st.fragID})
+			} else {
+				nd.Send(p, congest.Message{Kind: kindNoPropose, Tag: tag + 7})
+			}
+		}
+		accept := saturated || !coinTail
+		var acceptedPorts []int
+		for i := 0; i < nd.Degree(); i++ {
+			p, m := nd.Recv(func(_ int, m congest.Message) bool {
+				return m.Tag == tag+7 && (m.Kind == kindPropose || m.Kind == kindNoPropose)
+			})
+			if m.Kind != kindPropose {
+				continue
+			}
+			if accept {
+				nd.Send(p, congest.Message{Kind: kindAccept, Tag: tag + 8, A: st.fragID})
+				acceptedPorts = append(acceptedPorts, p)
+			} else {
+				nd.Send(p, congest.Message{Kind: kindReject, Tag: tag + 8})
+			}
+		}
+
+		// Proposer learns the outcome; the whole proposing fragment
+		// then runs the outcome wave (reorient toward the proposer and
+		// adopt the acceptor's fragment ID, or keep everything).
+		if proposing {
+			merged, newFrag := false, int64(0)
+			if myProposePort >= 0 {
+				_, m := nd.Recv(func(p int, m congest.Message) bool {
+					return p == myProposePort && m.Tag == tag+8 &&
+						(m.Kind == kindAccept || m.Kind == kindReject)
+				})
+				if m.Kind == kindAccept {
+					merged, newFrag = true, m.A
+				}
+			}
+			r.outcomeWave(st, myProposePort, merged, newFrag, tag+9)
+		}
+		if len(acceptedPorts) > 0 {
+			st.childPorts = append(st.childPorts, acceptedPorts...)
+			sort.Ints(st.childPorts)
+		}
+	}
+}
+
+// outcomeWave floods the proposal outcome through the proposer's old
+// fragment tree. On acceptance every fragment node re-roots toward the
+// proposer and adopts the new fragment ID; on rejection the wave is a
+// pure notification. Exactly one message crosses each fragment edge.
+func (r *runner) outcomeWave(st *p1state, proposePort int, merged bool, newFrag int64, tag uint32) {
+	nd := r.nd
+	oldPorts := st.ports()
+	if proposePort >= 0 {
+		// Initiator (the proposing node).
+		for _, p := range oldPorts {
+			nd.Send(p, congest.Message{Kind: kindWave, Tag: tag, A: b2i(merged), B: newFrag})
+		}
+		if merged {
+			st.fragID = newFrag
+			st.parentPort = proposePort
+			st.childPorts = oldPorts
+		}
+		return
+	}
+	inFrag := make(map[int]bool, len(oldPorts))
+	for _, p := range oldPorts {
+		inFrag[p] = true
+	}
+	from, m := nd.Recv(func(p int, m congest.Message) bool {
+		return m.Kind == kindWave && m.Tag == tag && inFrag[p]
+	})
+	for _, p := range oldPorts {
+		if p != from {
+			nd.Send(p, m)
+		}
+	}
+	if m.A == 1 {
+		st.fragID = m.B
+		st.parentPort = from
+		st.childPorts = st.childPorts[:0]
+		for _, p := range oldPorts {
+			if p != from {
+				st.childPorts = append(st.childPorts, p)
+			}
+		}
+		sort.Ints(st.childPorts)
+	}
+}
+
+// part2 merges the O(√n) Part-1 fragments into the MST using logical
+// fragment IDs coordinated at the BFS root. It returns the accumulated
+// inter-fragment MST edges (identical at every node).
+func (r *runner) part2(st *p1state) []InterEdge {
+	nd := r.nd
+	fragOv := st.overlay()
+	physID := st.fragID
+	logical := physID
+	var inter []InterEdge
+	maxIter := 4 + 2*bitlen(nd.N())
+	base := r.tag + 4096 // disjoint from part 1 tags (checked in part1)
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			panic(fmt.Sprintf("mst: part 2 did not converge after %d iterations", iter))
+		}
+		tag := base + uint32(iter)*8
+
+		// Exchange (logical, phys) with all neighbors.
+		nd.SendAll(congest.Message{Kind: kindFragEx, Tag: tag, A: logical, B: physID})
+		peerLogical := make([]int64, nd.Degree())
+		peerPhys := make([]int64, nd.Degree())
+		for i := 0; i < nd.Degree(); i++ {
+			p, m := nd.Recv(congest.MatchKindTag(kindFragEx, tag))
+			peerLogical[p], peerPhys[p] = m.A, m.B
+		}
+
+		// Fragment MOE w.r.t. logical IDs. The packed endpoints are
+		// canonical (for key uniqueness and mutual-MOE dedup at the
+		// root), so a swap bit records whether the canonical U is the
+		// far endpoint — the root needs (U,V) aligned with
+		// (FragU,FragV) when it emits inter-fragment edges.
+		cand := noneItem
+		for p := 0; p < nd.Degree(); p++ {
+			if peerLogical[p] == logical || r.w(p) <= 0 {
+				continue
+			}
+			swapped := int64(0)
+			if nd.ID() > nd.Peer(p) {
+				swapped = 1
+			}
+			it := proto.Item{
+				A: r.load(p),
+				B: r.w(p),
+				C: PackUV(nd.ID(), nd.Peer(p)),
+				D: swapped<<62 | peerLogical[p]<<31 | peerPhys[p],
+			}
+			if isNone(cand) || betterCand(cand, it) == it {
+				cand = it
+			}
+		}
+		moe, _ := proto.ConvergeItem(nd, fragOv, tag+1, cand, betterCand)
+
+		// Physical-fragment roots upcast their candidate to the BFS
+		// root as one packed item: A = load<<31|weight, B = packed
+		// endpoints, C = packed (myLogical, myPhys), D = packed (swap,
+		// targetLogical, targetPhys). Loads and weights stay below 2^31
+		// in every workload, so the packing is lossless.
+		var mine []proto.Item
+		if fragOv.Root && !isNone(moe) {
+			mine = []proto.Item{{
+				A: moe.A<<31 | moe.B,
+				B: moe.C,
+				C: logical<<31 | physID,
+				D: moe.D,
+			}}
+		}
+		gathered := proto.Gather(nd, r.bfs, tag+2, mine)
+
+		// The BFS root (node 0) runs the Borůvka merge locally.
+		var flood []proto.Item
+		if r.bfs.Root {
+			flood = mergeAtRoot(gathered, iter)
+		}
+		out := proto.Flood(nd, r.bfs, tag+4, flood)
+
+		done := false
+		for _, it := range out {
+			switch it.A {
+			case 3: // logical remap: B -> C
+				if it.B == logical {
+					logical = it.C
+				}
+			case 4: // chosen MST edge: B=u, C=v, D=physU<<31|physV
+				u, v := graph.NodeID(it.B), graph.NodeID(it.C)
+				inter = append(inter, InterEdge{U: u, V: v, FragU: it.D >> 31, FragV: it.D & ((1 << 31) - 1)})
+			case 5: // done flag
+				done = it.B == 1
+			}
+		}
+		if done {
+			return inter
+		}
+	}
+}
+
+// debugMerge, when set by tests, prints the root's Part-2 decisions.
+var debugMerge = false
+
+// cand2 is a reassembled Part-2 candidate at the BFS root.
+type cand2 struct {
+	key                       Key
+	u, v                      graph.NodeID
+	myLogical, myPhys         int64
+	targetLogical, targetPhys int64
+}
+
+// mergeAtRoot unpacks the gathered candidates, picks each logical
+// fragment's best, unions along chosen edges, and emits the remap,
+// chosen-edge, and done items to flood.
+func mergeAtRoot(items []proto.Item, iter int) []proto.Item {
+	if debugMerge {
+		fmt.Printf("root: === iter %d: %d candidates ===\n", iter, len(items))
+	}
+	best := make(map[int64]cand2) // per myLogical
+	for _, it := range items {
+		uv := it.B
+		u, v := UnpackUV(uv)
+		if it.D>>62&1 == 1 {
+			u, v = v, u // align u with the proposing fragment
+		}
+		c := cand2{
+			key:           Key{Load: it.A >> 31, W: it.A & ((1 << 31) - 1), UV: uv},
+			u:             u,
+			v:             v,
+			myLogical:     it.C >> 31,
+			myPhys:        it.C & ((1 << 31) - 1),
+			targetLogical: it.D >> 31 & ((1 << 31) - 1),
+			targetPhys:    it.D & ((1 << 31) - 1),
+		}
+		if cur, ok := best[c.myLogical]; !ok || c.key.Less(cur.key) {
+			best[c.myLogical] = c
+		}
+	}
+	if debugMerge {
+		for l, c := range best {
+			fmt.Printf("root: logical %d best {%d,%d} key=%+v targetLogical=%d myPhys=%d targetPhys=%d\n",
+				l, c.u, c.v, c.key, c.targetLogical, c.myPhys, c.targetPhys)
+		}
+	}
+	if len(best) == 0 {
+		return []proto.Item{{A: 5, B: 1}}
+	}
+	// Union along chosen edges (dedup mutual MOEs by packed edge).
+	parent := make(map[int64]int64)
+	var find func(x int64) int64
+	find = func(x int64) int64 {
+		if p, ok := parent[x]; ok && p != x {
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return parent[x]
+	}
+	chosen := make(map[int64]cand2)
+	for _, c := range best {
+		chosen[c.key.UV] = c
+		find(c.myLogical)
+		find(c.targetLogical)
+	}
+	for _, c := range chosen {
+		ra, rb := find(c.myLogical), find(c.targetLogical)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	// Canonical representative: minimum logical ID per component.
+	rep := make(map[int64]int64)
+	for l := range parent {
+		r := find(l)
+		if cur, ok := rep[r]; !ok || l < cur {
+			rep[r] = l
+		}
+	}
+	var flood []proto.Item
+	var logicals []int64
+	for l := range parent {
+		logicals = append(logicals, l)
+	}
+	sort.Slice(logicals, func(i, j int) bool { return logicals[i] < logicals[j] })
+	for _, l := range logicals {
+		flood = append(flood, proto.Item{A: 3, B: l, C: rep[find(l)]})
+	}
+	var uvs []int64
+	for uv := range chosen {
+		uvs = append(uvs, uv)
+	}
+	sort.Slice(uvs, func(i, j int) bool { return uvs[i] < uvs[j] })
+	for _, uv := range uvs {
+		c := chosen[uv]
+		flood = append(flood, proto.Item{A: 4, B: int64(c.u), C: int64(c.v), D: c.myPhys<<31 | c.targetPhys})
+	}
+	flood = append(flood, proto.Item{A: 5, B: 0})
+	return flood
+}
+
+// root orients the MST (or spanning forest, under a sampled view) in
+// Õ(√n + D): the fragment forest is known to every node (InterEdges +
+// census), so orientation between fragments is a local computation, and
+// each fragment re-roots internally at its attachment node with one
+// O(√n)-round adopt wave. Node 0 roots its component; every other
+// component is rooted at its minimum fragment ID.
+func (r *runner) root(st *p1state, inter []InterEdge) *Result {
+	nd := r.nd
+	base := r.tag + TagSpan - 16
+	myPhys := st.fragID
+
+	// Fragment census: roots contribute their ID (tags base, base+1).
+	var mine []proto.Item
+	if st.parentPort < 0 {
+		mine = []proto.Item{{A: myPhys}}
+	}
+	censusItems := proto.AllGather(nd, r.bfs, base, mine)
+	allFrags := make([]int64, 0, len(censusItems))
+	for _, it := range censusItems {
+		allFrags = append(allFrags, it.A)
+	}
+
+	// Node 0 (the BFS root) announces its fragment.
+	rootFrag := proto.Broadcast(nd, r.bfs, base+2, myPhys)
+
+	// Locally orient the fragment forest.
+	fragParent, attach := orientForest(inter, allFrags, rootFrag)
+	components := 0
+	for _, p := range fragParent {
+		if p == -1 {
+			components++
+		}
+	}
+
+	// Re-root my fragment at its attachment node; component-root
+	// fragments re-root at node 0 (root component) or at the node whose
+	// ID equals the fragment ID (its Part-1 root, a member by
+	// construction).
+	var internalRoot graph.NodeID
+	switch {
+	case myPhys == rootFrag:
+		internalRoot = 0
+	case fragParent[myPhys] == -1:
+		internalRoot = graph.NodeID(myPhys)
+	default:
+		internalRoot = attach[myPhys].inner
+	}
+	wave := proto.AdoptWave(nd, st.ports(), nd.ID() == internalRoot, base+4)
+
+	res := &Result{
+		FragID:         myPhys,
+		FragRootID:     internalRoot,
+		FragParentPort: wave.ParentPort,
+		FragChildPorts: append([]int(nil), wave.ChildPorts...),
+		InterEdges:     inter,
+		RootFrag:       rootFrag,
+		FragParent:     fragParent,
+		AllFrags:       allFrags,
+		Connected:      components == 1,
+	}
+
+	// Assemble the global tree ports.
+	res.ParentPort = wave.ParentPort
+	if nd.ID() == internalRoot {
+		if fragParent[myPhys] == -1 {
+			res.ParentPort = -1
+		} else {
+			res.ParentPort = nd.PortTo(attach[myPhys].outer)
+		}
+	}
+	res.ChildPorts = append([]int(nil), wave.ChildPorts...)
+	for _, ie := range inter {
+		// If I am the parent-side endpoint of an inter-fragment edge, the
+		// child fragment hangs off me.
+		if fragParent[ie.FragU] == ie.FragV && ie.V == nd.ID() {
+			res.ChildPorts = append(res.ChildPorts, nd.PortTo(ie.U))
+		}
+		if fragParent[ie.FragV] == ie.FragU && ie.U == nd.ID() {
+			res.ChildPorts = append(res.ChildPorts, nd.PortTo(ie.V))
+		}
+	}
+	sort.Ints(res.ChildPorts)
+	return res
+}
+
+// attachment records, for a fragment, its node incident to the parent
+// fragment (inner) and the peer endpoint in the parent (outer).
+type attachment struct {
+	inner graph.NodeID
+	outer graph.NodeID
+}
+
+// orientForest builds parent pointers for the fragment forest: node 0's
+// component is rooted at rootFrag, every other component at its minimum
+// fragment ID. Pure local computation on globally known data.
+func orientForest(inter []InterEdge, allFrags []int64, rootFrag int64) (map[int64]int64, map[int64]attachment) {
+	adj := make(map[int64][]InterEdge)
+	for _, ie := range inter {
+		adj[ie.FragU] = append(adj[ie.FragU], ie)
+		adj[ie.FragV] = append(adj[ie.FragV], ie)
+	}
+	fragParent := make(map[int64]int64, len(allFrags))
+	attach := make(map[int64]attachment)
+	seen := make(map[int64]bool, len(allFrags))
+
+	orient := func(root int64) {
+		fragParent[root] = -1
+		seen[root] = true
+		queue := []int64{root}
+		for len(queue) > 0 {
+			f := queue[0]
+			queue = queue[1:]
+			for _, ie := range adj[f] {
+				child, childInner, childOuter := ie.FragV, ie.V, ie.U
+				if ie.FragV == f {
+					child, childInner, childOuter = ie.FragU, ie.U, ie.V
+				}
+				if seen[child] {
+					continue
+				}
+				seen[child] = true
+				fragParent[child] = f
+				attach[child] = attachment{inner: childInner, outer: childOuter}
+				queue = append(queue, child)
+			}
+		}
+	}
+	orient(rootFrag)
+	// Remaining components, smallest fragment ID first (allFrags is
+	// sorted by the AllGather).
+	for _, f := range allFrags {
+		if !seen[f] {
+			orient(f)
+		}
+	}
+	return fragParent, attach
+}
+
+// bitlen returns the number of bits of n (≈ log2 n + 1).
+func bitlen(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+// Package mst implements minimum spanning trees with respect to
+// load-based edge keys — the engine of Thorup's greedy tree packing —
+// both sequentially (Kruskal, the reference) and distributedly in the
+// CONGEST model, in the two-part Kutten–Peleg style:
+//
+//   - Part 1 ("controlled Borůvka"): grow MST fragments with a size cap
+//     s (≈√n). Unsaturated fragments propose along their minimum
+//     outgoing edge with coin-flip symmetry breaking; heads and
+//     saturated fragments accept, so merge structures are depth-one
+//     stars and fragment trees stay subtrees of the MST. Terminates
+//     w.h.p. in O(log n) iterations with at most n/s fragments.
+//   - Part 2 ("pipelined Borůvka"): the at most √n remaining fragments
+//     are merged logically. Each iteration, every physical fragment
+//     convergecasts its minimum outgoing edge w.r.t. *logical* fragment
+//     IDs, the candidates are upcast over the BFS tree to node 0, which
+//     runs the merge locally and floods the new logical IDs and chosen
+//     MST edges back. O(log n) iterations of O(√n + D) rounds.
+//
+// The byproduct is exactly what the paper's Section 2 consumes
+// (footnote 1): a partition of the MST into O(√n) fragments of O(√n)
+// size (hence diameter), with the fragment tree known to every node.
+package mst
+
+import (
+	"distmincut/internal/graph"
+)
+
+// Key orders edges for MST computation. The primary criterion is the
+// relative load load/weight (Thorup's packing key: a weight-w edge
+// stands for w parallel unit edges, load spread across them); ties
+// break by weight, then by endpoint pair, so keys are globally unique
+// and the MST is unique — which lets tests compare the distributed
+// tree edge-for-edge against Kruskal.
+type Key struct {
+	Load int64
+	W    int64
+	UV   int64 // packed endpoints, see PackUV
+}
+
+// PackUV packs an edge's canonical endpoints into one word (each ID
+// fits in 31 bits; n is far below 2^31 in any simulated workload).
+func PackUV(u, v graph.NodeID) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<31 | int64(v)
+}
+
+// UnpackUV reverses PackUV.
+func UnpackUV(p int64) (graph.NodeID, graph.NodeID) {
+	return graph.NodeID(p >> 31), graph.NodeID(p & ((1 << 31) - 1))
+}
+
+// Less reports whether k orders strictly before o. Load ratios are
+// compared by cross-multiplication; weights must stay below 2^31 so
+// products cannot overflow (graph generators guarantee this).
+func (k Key) Less(o Key) bool {
+	l, r := k.Load*o.W, o.Load*k.W
+	if l != r {
+		return l < r
+	}
+	if k.W != o.W {
+		return k.W < o.W
+	}
+	return k.UV < o.UV
+}
+
+// KeyOf builds the key of edge e under the given load.
+func KeyOf(e graph.Edge, load int64) Key {
+	return Key{Load: load, W: e.W, UV: PackUV(e.U, e.V)}
+}
+
+// unionFind is a standard disjoint-set forest with path halving.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b; returns false if already joined.
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[rb] = ra
+	return true
+}

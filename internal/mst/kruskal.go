@@ -1,0 +1,72 @@
+package mst
+
+import (
+	"fmt"
+	"sort"
+
+	"distmincut/internal/graph"
+	"distmincut/internal/tree"
+)
+
+// Kruskal computes the unique MST of g under load-based keys
+// sequentially and returns the set of chosen edge IDs. loads[i] is the
+// packing load of edge i (all zeros for a plain minimum-weight spanning
+// tree). This is the reference the distributed algorithm is verified
+// against, and the engine of the sequential packing used in tests.
+func Kruskal(g *graph.Graph, loads []int64) ([]int, error) {
+	if loads == nil {
+		loads = make([]int64, g.M())
+	}
+	if len(loads) != g.M() {
+		return nil, fmt.Errorf("mst: %d loads for %d edges", len(loads), g.M())
+	}
+	order := make([]int, g.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := g.Edge(order[a]), g.Edge(order[b])
+		return KeyOf(ea, loads[ea.ID]).Less(KeyOf(eb, loads[eb.ID]))
+	})
+	uf := newUnionFind(g.N())
+	chosen := make([]int, 0, g.N()-1)
+	for _, id := range order {
+		e := g.Edge(id)
+		if uf.union(int(e.U), int(e.V)) {
+			chosen = append(chosen, id)
+		}
+	}
+	if len(chosen) != g.N()-1 {
+		return nil, fmt.Errorf("mst: graph disconnected (%d tree edges for %d nodes)", len(chosen), g.N())
+	}
+	sort.Ints(chosen)
+	return chosen, nil
+}
+
+// TreeOf roots the spanning tree given by edge IDs at root and returns
+// it as a tree.Tree.
+func TreeOf(g *graph.Graph, edgeIDs []int, root graph.NodeID) (*tree.Tree, error) {
+	sub := graph.New(g.N())
+	orig := make(map[int64]int, len(edgeIDs))
+	for _, id := range edgeIDs {
+		e := g.Edge(id)
+		sub.MustAddEdge(e.U, e.V, e.W)
+		orig[PackUV(e.U, e.V)] = id
+	}
+	sub.SortAdjacency()
+	t, err := tree.FromGraphTree(sub, root)
+	if err != nil {
+		return nil, err
+	}
+	// Re-express parent edges in g's edge IDs.
+	parent := make([]graph.NodeID, g.N())
+	parentEdge := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		parent[v] = t.Parent(graph.NodeID(v))
+		parentEdge[v] = -1
+		if parent[v] >= 0 {
+			parentEdge[v] = orig[PackUV(graph.NodeID(v), parent[v])]
+		}
+	}
+	return tree.New(root, parent, parentEdge)
+}

@@ -1,0 +1,138 @@
+// Package partition implements the Kutten–Peleg-style tree partition
+// the paper's Step 1 consumes: a decomposition of a rooted spanning
+// tree into O(n/s) fragments, each a connected subtree of low depth
+// (≤ s), where s defaults to √n.
+//
+// The usual pipeline gets its partition for free from the distributed
+// MST (the paper's footnote 1). This package provides the partition
+// for *externally supplied* trees — BFS trees, random spanning trees,
+// adversarial paths — so Theorem 2.1 can be exercised on any tree. The
+// splitter is the classic bottom-up chunking: process nodes in reverse
+// preorder, accumulating residual subtree sizes; a node whose residual
+// reaches s becomes a fragment root. Every non-root fragment has at
+// least s nodes (hence at most n/s + 1 fragments) and every fragment
+// has depth at most s (hence diameter ≤ 2s), though high-degree
+// fragments may hold many nodes — only depth matters downstream.
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"distmincut/internal/graph"
+	"distmincut/internal/tree"
+)
+
+// Decomposition maps every node to its fragment. Fragment IDs are the
+// fragment root's node ID.
+type Decomposition struct {
+	// FragOf[v] is the fragment ID of node v.
+	FragOf []int64
+	// RootOf[v] is the fragment root of v's fragment.
+	RootOf []graph.NodeID
+	// Roots lists the fragment roots in increasing ID order.
+	Roots []graph.NodeID
+	// S is the size parameter used.
+	S int
+}
+
+// DefaultS returns the paper's √n threshold.
+func DefaultS(n int) int {
+	s := int(math.Ceil(math.Sqrt(float64(n))))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Split partitions t into fragments with parameter s (s <= 0 uses √n).
+func Split(t *tree.Tree, s int) *Decomposition {
+	n := t.N()
+	if s <= 0 {
+		s = DefaultS(n)
+	}
+	d := &Decomposition{
+		FragOf: make([]int64, n),
+		RootOf: make([]graph.NodeID, n),
+		S:      s,
+	}
+	residual := make([]int, n)
+	isRoot := make([]bool, n)
+	order := t.PreOrder()
+	// Reverse preorder: children before parents.
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		size := 1
+		for _, c := range t.Children(v) {
+			size += residual[c]
+		}
+		if size >= s || v == t.Root() {
+			isRoot[v] = true
+			residual[v] = 0
+		} else {
+			residual[v] = size
+		}
+	}
+	// Top-down assignment: a node joins its parent's fragment unless it
+	// is a fragment root.
+	for _, v := range order {
+		switch {
+		case isRoot[v]:
+			d.RootOf[v] = v
+			d.Roots = append(d.Roots, v)
+		default:
+			d.RootOf[v] = d.RootOf[t.Parent(v)]
+		}
+		d.FragOf[v] = int64(d.RootOf[v])
+	}
+	return d
+}
+
+// Validate checks the decomposition invariants: fragments are connected
+// subtrees containing their root, fragment depth is at most S, and the
+// number of fragments is at most n/S + 1.
+func Validate(t *tree.Tree, d *Decomposition) error {
+	n := t.N()
+	if len(d.FragOf) != n || len(d.RootOf) != n {
+		return fmt.Errorf("partition: wrong arity")
+	}
+	if len(d.Roots) > n/d.S+1 {
+		return fmt.Errorf("partition: %d fragments exceed n/s+1 = %d", len(d.Roots), n/d.S+1)
+	}
+	for v := 0; v < n; v++ {
+		nv := graph.NodeID(v)
+		root := d.RootOf[v]
+		if d.FragOf[v] != int64(root) {
+			return fmt.Errorf("partition: node %d frag/root mismatch", v)
+		}
+		if d.RootOf[root] != root {
+			return fmt.Errorf("partition: root of %d's fragment (%d) is not its own root", v, root)
+		}
+		// Walk up to the fragment root: path must stay in-fragment and
+		// have length <= S.
+		steps := 0
+		for u := nv; u != root; u = t.Parent(u) {
+			if u != nv && d.RootOf[u] != root {
+				return fmt.Errorf("partition: fragment of %d not connected at %d", v, u)
+			}
+			if t.Parent(u) == -1 {
+				return fmt.Errorf("partition: node %d never reaches its fragment root %d", v, root)
+			}
+			if steps++; steps > d.S {
+				return fmt.Errorf("partition: node %d at depth > s from root %d", v, root)
+			}
+		}
+	}
+	// Every non-root-of-tree fragment must have >= S members (count
+	// bound); the fragment containing the tree root may be smaller.
+	members := map[graph.NodeID]int{}
+	for v := 0; v < n; v++ {
+		members[d.RootOf[v]]++
+	}
+	for root, cnt := range members {
+		if root != t.Root() && cnt < 1 {
+			return fmt.Errorf("partition: empty fragment %d", root)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distmincut/internal/graph"
+	"distmincut/internal/tree"
+)
+
+func mustTree(t *testing.T, g *graph.Graph) *tree.Tree {
+	t.Helper()
+	tr, err := tree.FromGraphTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSplitValidatesOnFamilies(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"path":        graph.Path(100),
+		"star":        graph.Star(100),
+		"randomtree":  graph.RandomTree(150, 3),
+		"caterpillar": graph.RandomTree(64, 9),
+		"two":         graph.Path(2),
+		"one":         graph.Path(1),
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			tr := mustTree(t, g)
+			d := Split(tr, 0)
+			if err := Validate(tr, d); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSplitPathCounts(t *testing.T) {
+	tr := mustTree(t, graph.Path(100))
+	d := Split(tr, 10)
+	if len(d.Roots) != 10 {
+		t.Fatalf("path of 100 with s=10 gave %d fragments, want 10", len(d.Roots))
+	}
+}
+
+func TestSplitStarDepth(t *testing.T) {
+	// A star has depth 1: one fragment regardless of s.
+	tr := mustTree(t, graph.Star(50))
+	d := Split(tr, 7)
+	if len(d.Roots) != 1 {
+		t.Fatalf("star split into %d fragments, want 1", len(d.Roots))
+	}
+}
+
+// Property: Split output always validates and respects the count bound
+// on random trees and random s.
+func TestSplitProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawS uint8) bool {
+		n := int(rawN%120) + 2
+		s := int(rawS%20) + 1
+		g := graph.RandomTree(n, seed)
+		tr, err := tree.FromGraphTree(g, 0)
+		if err != nil {
+			return false
+		}
+		d := Split(tr, s)
+		if err := Validate(tr, d); err != nil {
+			t.Logf("n=%d s=%d: %v", n, s, err)
+			return false
+		}
+		// Non-root fragments have at least s members.
+		members := map[graph.NodeID]int{}
+		for v := 0; v < n; v++ {
+			members[d.RootOf[v]]++
+		}
+		for root, cnt := range members {
+			if root != tr.Root() && cnt < s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultS(t *testing.T) {
+	if DefaultS(100) != 10 || DefaultS(0) != 1 || DefaultS(101) != 11 {
+		t.Fatalf("DefaultS wrong: %d %d %d", DefaultS(100), DefaultS(0), DefaultS(101))
+	}
+}

@@ -1,0 +1,79 @@
+package partition
+
+import (
+	"sort"
+
+	"distmincut/internal/graph"
+	"distmincut/internal/tree"
+)
+
+// Skeleton holds the sequential reference of the paper's Step-4
+// structures for a partitioned tree: the merging nodes (nodes with at
+// least two child directions whose subtrees contain whole fragments),
+// and the skeleton tree T'_F over fragment roots and merging nodes
+// (parent = lowest T'_F ancestor). Used by experiment E8 (Figure 1)
+// and as an independent cross-check of the distributed Step 4.
+type Skeleton struct {
+	// Merging lists the merging nodes in increasing ID.
+	Merging []graph.NodeID
+	// Members is the T'_F node set (fragment roots + merging nodes).
+	Members map[graph.NodeID]bool
+	// Parent maps every T'_F node to its T'_F parent (root maps to -1).
+	Parent map[graph.NodeID]graph.NodeID
+}
+
+// BuildSkeleton computes the Step-4 structures sequentially from the
+// definitions in the paper.
+func BuildSkeleton(t *tree.Tree, d *Decomposition) *Skeleton {
+	n := t.N()
+	// fragBelow[v]: does v's subtree contain a whole fragment, i.e. the
+	// root of some fragment lies in v↓?
+	fragBelow := make([]bool, n)
+	for _, root := range d.Roots {
+		if root == t.Root() {
+			continue // the tree root's fragment is never strictly below anyone
+		}
+		fragBelow[root] = true
+	}
+	order := t.PreOrder()
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		for _, c := range t.Children(v) {
+			if fragBelow[c] {
+				fragBelow[v] = true
+			}
+		}
+		if d.RootOf[v] == v && v != t.Root() {
+			fragBelow[v] = true
+		}
+	}
+	sk := &Skeleton{Members: make(map[graph.NodeID]bool), Parent: make(map[graph.NodeID]graph.NodeID)}
+	for v := 0; v < n; v++ {
+		nv := graph.NodeID(v)
+		dirs := 0
+		for _, c := range t.Children(nv) {
+			if fragBelow[c] {
+				dirs++
+			}
+		}
+		if dirs >= 2 {
+			sk.Merging = append(sk.Merging, nv)
+			sk.Members[nv] = true
+		}
+	}
+	sort.Slice(sk.Merging, func(i, j int) bool { return sk.Merging[i] < sk.Merging[j] })
+	for _, root := range d.Roots {
+		sk.Members[root] = true
+	}
+	sk.Members[t.Root()] = true
+	for v := range sk.Members {
+		sk.Parent[v] = -1
+		for u := t.Parent(v); u >= 0; u = t.Parent(u) {
+			if sk.Members[u] {
+				sk.Parent[v] = u
+				break
+			}
+		}
+	}
+	return sk
+}

@@ -1,0 +1,109 @@
+package partition
+
+import (
+	"testing"
+
+	"distmincut/internal/graph"
+	"distmincut/internal/tree"
+)
+
+// figureTree is the paper's 16-node Figure 1(a) shape.
+func figureTree(t *testing.T) *tree.Tree {
+	t.Helper()
+	tr, err := tree.New(0, []graph.NodeID{-1, 0, 1, 2, 0, 2, 3, 4, 5, 5, 6, 6, 7, 7, 7, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildSkeletonFigure1(t *testing.T) {
+	tr := figureTree(t)
+	d := Split(tr, 4)
+	sk := BuildSkeleton(tr, d)
+	// Every fragment root must be a member; the tree root always is.
+	for _, r := range d.Roots {
+		if !sk.Members[r] {
+			t.Fatalf("fragment root %d missing from T'F", r)
+		}
+	}
+	if !sk.Members[tr.Root()] {
+		t.Fatal("tree root missing from T'F")
+	}
+	// Parent pointers must be genuine ancestors and members.
+	for v, p := range sk.Parent {
+		if p == -1 {
+			if v != tr.Root() && sk.Members[v] {
+				// Only the topmost member may have no parent.
+				for u := tr.Parent(v); u >= 0; u = tr.Parent(u) {
+					if sk.Members[u] {
+						t.Fatalf("member %d has parent -1 but member ancestor %d exists", v, u)
+					}
+				}
+			}
+			continue
+		}
+		if !sk.Members[p] {
+			t.Fatalf("T'F parent %d of %d not a member", p, v)
+		}
+		if !tr.IsAncestor(p, v) || p == v {
+			t.Fatalf("T'F parent %d not a proper ancestor of %d", p, v)
+		}
+		// Lowest: no member strictly between v and p.
+		for u := tr.Parent(v); u != p; u = tr.Parent(u) {
+			if sk.Members[u] {
+				t.Fatalf("member %d between %d and its T'F parent %d", u, v, p)
+			}
+		}
+	}
+	// Merging definition check by brute force.
+	for v := 0; v < tr.N(); v++ {
+		dirs := 0
+		for _, c := range tr.Children(graph.NodeID(v)) {
+			if subtreeHasFragment(tr, d, c) {
+				dirs++
+			}
+		}
+		want := dirs >= 2
+		got := false
+		for _, m := range sk.Merging {
+			if m == graph.NodeID(v) {
+				got = true
+			}
+		}
+		if got != want {
+			t.Fatalf("node %d merging = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// subtreeHasFragment reports whether some whole fragment lies in v↓.
+func subtreeHasFragment(tr *tree.Tree, d *Decomposition, v graph.NodeID) bool {
+	for _, r := range d.Roots {
+		if r != tr.Root() && tr.IsAncestor(v, r) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBuildSkeletonRandomTrees(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.RandomTree(80, seed)
+		tr, err := tree.FromGraphTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := Split(tr, 0)
+		sk := BuildSkeleton(tr, d)
+		// |T'F| <= 2 * fragments (roots + merging; merging count is at
+		// most fragment count - 1 since each merging node merges >= 2
+		// fragment-bearing branches).
+		if len(sk.Members) > 2*len(d.Roots) {
+			t.Fatalf("seed %d: |T'F| = %d for %d fragments", seed, len(sk.Members), len(d.Roots))
+		}
+		if len(sk.Merging) > len(d.Roots) {
+			t.Fatalf("seed %d: %d merging nodes for %d fragments", seed, len(sk.Merging), len(d.Roots))
+		}
+	}
+}

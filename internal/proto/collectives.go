@@ -1,0 +1,223 @@
+package proto
+
+import (
+	"sort"
+
+	"distmincut/internal/congest"
+)
+
+// Item is one pipelined stream element: four words of O(log n) bits,
+// exactly one CONGEST message. Primitives never interpret the words.
+type Item struct {
+	A, B, C, D int64
+}
+
+func itemLess(x, y Item) bool {
+	if x.A != y.A {
+		return x.A < y.A
+	}
+	if x.B != y.B {
+		return x.B < y.B
+	}
+	if x.C != y.C {
+		return x.C < y.C
+	}
+	return x.D < y.D
+}
+
+// SortItems sorts items canonically (lexicographic by word).
+func SortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool { return itemLess(items[i], items[j]) })
+}
+
+// Converge aggregates one word up the overlay: each node combines its
+// own value with its children's aggregates and forwards to its parent.
+// The root returns (total, true); everyone else returns (its own
+// subtree aggregate, false). combine must be associative and
+// commutative. O(height) rounds, one message per tree edge.
+func Converge(nd *congest.Node, ov *Overlay, tag uint32, value int64, combine func(a, b int64) int64) (int64, bool) {
+	acc := value
+	for range ov.ChildPorts {
+		_, m := nd.Recv(func(p int, m congest.Message) bool {
+			return m.Kind == kindWord && m.Tag == tag && isChildPort(ov, p)
+		})
+		acc = combine(acc, m.A)
+	}
+	if ov.Root {
+		return acc, true
+	}
+	nd.Send(ov.ParentPort, congest.Message{Kind: kindWord, Tag: tag, A: acc})
+	return acc, false
+}
+
+// Broadcast sends one word from the root down the overlay; every node
+// returns it. O(height) rounds, one message per tree edge.
+func Broadcast(nd *congest.Node, ov *Overlay, tag uint32, value int64) int64 {
+	if !ov.Root {
+		_, m := nd.Recv(func(p int, m congest.Message) bool {
+			return m.Kind == kindWord && m.Tag == tag && p == ov.ParentPort
+		})
+		value = m.A
+	}
+	for _, c := range ov.ChildPorts {
+		nd.Send(c, congest.Message{Kind: kindWord, Tag: tag, A: value})
+	}
+	return value
+}
+
+// ConvergeBroadcast aggregates one word at the root and broadcasts the
+// total back; every node returns the global aggregate. 2·height rounds.
+// Tags tag and tag+1 are both used.
+func ConvergeBroadcast(nd *congest.Node, ov *Overlay, tag uint32, value int64, combine func(a, b int64) int64) int64 {
+	total, _ := Converge(nd, ov, tag, value, combine)
+	return Broadcast(nd, ov, tag+1, total)
+}
+
+// Sum, Min and Max are the standard combiners.
+func Sum(a, b int64) int64 { return a + b }
+func Min(a, b int64) int64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+func Max(a, b int64) int64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// Gather streams every node's items to the root (upcast). Items flow up
+// concurrently on all tree paths; each edge carries its subtree's items
+// followed by one end marker, so the whole gather takes O(height + k)
+// rounds for k total items. The root returns all items (unsorted);
+// other nodes return nil.
+func Gather(nd *congest.Node, ov *Overlay, tag uint32, mine []Item) []Item {
+	var collected []Item
+	if ov.Root {
+		collected = append(collected, mine...)
+	} else {
+		for _, it := range mine {
+			nd.Send(ov.ParentPort, congest.Message{Kind: kindItem, Tag: tag, A: it.A, B: it.B, C: it.C, D: it.D})
+		}
+	}
+	match := func(p int, m congest.Message) bool {
+		return (m.Kind == kindItem || m.Kind == kindEnd) && m.Tag == tag && isChildPort(ov, p)
+	}
+	for ended := 0; ended < len(ov.ChildPorts); {
+		_, m := nd.Recv(match)
+		if m.Kind == kindEnd {
+			ended++
+			continue
+		}
+		if ov.Root {
+			collected = append(collected, Item{m.A, m.B, m.C, m.D})
+		} else {
+			m.Kind = kindItem
+			nd.Send(ov.ParentPort, m)
+		}
+	}
+	if !ov.Root {
+		nd.Send(ov.ParentPort, congest.Message{Kind: kindEnd, Tag: tag})
+		return nil
+	}
+	return collected
+}
+
+// Flood streams items from the root down to every node (downcast with
+// pipelining): O(height + k) rounds. The root passes the items; every
+// node returns the full list in the root's order.
+func Flood(nd *congest.Node, ov *Overlay, tag uint32, items []Item) []Item {
+	if ov.Root {
+		for _, c := range ov.ChildPorts {
+			for _, it := range items {
+				nd.Send(c, congest.Message{Kind: kindItem, Tag: tag, A: it.A, B: it.B, C: it.C, D: it.D})
+			}
+			nd.Send(c, congest.Message{Kind: kindEnd, Tag: tag})
+		}
+		return items
+	}
+	var got []Item
+	for {
+		_, m := nd.Recv(func(p int, m congest.Message) bool {
+			return (m.Kind == kindItem || m.Kind == kindEnd) && m.Tag == tag && p == ov.ParentPort
+		})
+		if m.Kind == kindEnd {
+			break
+		}
+		got = append(got, Item{m.A, m.B, m.C, m.D})
+		for _, c := range ov.ChildPorts {
+			nd.Send(c, m)
+		}
+	}
+	for _, c := range ov.ChildPorts {
+		nd.Send(c, congest.Message{Kind: kindEnd, Tag: tag})
+	}
+	return got
+}
+
+// AllGather gathers every node's items at the root, sorts them
+// canonically, and floods the sorted list back down; every node returns
+// the identical global list. O(height + k) rounds; uses tags tag and
+// tag+1. This is the paper's recurring "broadcast ... to the whole
+// network" step (inter-fragment edges, fragment degrees, merging nodes,
+// T'_F edges), always with k = O(√n) items.
+func AllGather(nd *congest.Node, ov *Overlay, tag uint32, mine []Item) []Item {
+	all := Gather(nd, ov, tag, mine)
+	if ov.Root {
+		SortItems(all)
+	}
+	return Flood(nd, ov, tag+1, all)
+}
+
+// KeyedSum computes, for a globally known sorted key list, the sum over
+// all nodes of each node's value for that key, and returns the full
+// (key -> total) map at every node. Slot j (the j-th key) is combined
+// up the tree in pipelined fashion: a node forwards slot j as soon as
+// all children delivered their slot j, so the whole aggregation takes
+// O(height + k) rounds, not O(height · k). Tags tag and tag+1 are used.
+//
+// This implements the paper's Step 5(i): "count the number of messages
+// of the form <v> for every merging node v by computing the sum along
+// the breadth-first search tree" — the keys are the merging-node IDs,
+// known network-wide after Step 4.
+func KeyedSum(nd *congest.Node, ov *Overlay, tag uint32, keys []int64, mine map[int64]int64) map[int64]int64 {
+	sums := make([]int64, len(keys))
+	for j, k := range keys {
+		sums[j] = mine[k]
+	}
+	// Children's slots arrive in order on each port (FIFO); consume
+	// slot j from every child, then emit slot j upward.
+	for j := range keys {
+		for _, c := range ov.ChildPorts {
+			_, m := nd.Recv(func(p int, m congest.Message) bool {
+				return m.Kind == kindSlot && m.Tag == tag && p == c && m.A == int64(j)
+			})
+			sums[j] += m.B
+		}
+		if !ov.Root {
+			nd.Send(ov.ParentPort, congest.Message{Kind: kindSlot, Tag: tag, A: int64(j), B: sums[j]})
+		}
+	}
+	// Root floods the totals; everyone assembles the map.
+	items := make([]Item, 0, len(keys))
+	if ov.Root {
+		for j, k := range keys {
+			items = append(items, Item{A: k, B: sums[j]})
+		}
+	}
+	out := Flood(nd, ov, tag+1, items)
+	res := make(map[int64]int64, len(out))
+	for _, it := range out {
+		res[it.A] = it.B
+	}
+	return res
+}
+
+func isChildPort(ov *Overlay, p int) bool {
+	// ChildPorts is sorted and small; binary search keeps predicate
+	// evaluation cheap for the coordinator.
+	i := sort.SearchInts(ov.ChildPorts, p)
+	return i < len(ov.ChildPorts) && ov.ChildPorts[i] == p
+}

@@ -1,0 +1,37 @@
+package proto
+
+import "distmincut/internal/congest"
+
+// ConvergeItem aggregates a full 4-word item up the overlay with an
+// arbitrary associative, commutative combiner (typically "better of
+// two candidates"). The root returns (total, true); other nodes return
+// their subtree aggregate and false. O(height) rounds.
+func ConvergeItem(nd *congest.Node, ov *Overlay, tag uint32, mine Item, combine func(a, b Item) Item) (Item, bool) {
+	acc := mine
+	for range ov.ChildPorts {
+		_, m := nd.Recv(func(p int, m congest.Message) bool {
+			return m.Kind == kindItem && m.Tag == tag && isChildPort(ov, p)
+		})
+		acc = combine(acc, Item{m.A, m.B, m.C, m.D})
+	}
+	if ov.Root {
+		return acc, true
+	}
+	nd.Send(ov.ParentPort, congest.Message{Kind: kindItem, Tag: tag, A: acc.A, B: acc.B, C: acc.C, D: acc.D})
+	return acc, false
+}
+
+// BroadcastItem sends one 4-word item from the root down the overlay;
+// every node returns it. O(height) rounds.
+func BroadcastItem(nd *congest.Node, ov *Overlay, tag uint32, it Item) Item {
+	if !ov.Root {
+		_, m := nd.Recv(func(p int, m congest.Message) bool {
+			return m.Kind == kindItem && m.Tag == tag && p == ov.ParentPort
+		})
+		it = Item{m.A, m.B, m.C, m.D}
+	}
+	for _, c := range ov.ChildPorts {
+		nd.Send(c, congest.Message{Kind: kindItem, Tag: tag, A: it.A, B: it.B, C: it.C, D: it.D})
+	}
+	return it
+}

@@ -1,0 +1,147 @@
+package proto
+
+import (
+	"sync"
+	"testing"
+
+	"distmincut/internal/congest"
+	"distmincut/internal/graph"
+)
+
+func TestKeyedSumEmptyKeys(t *testing.T) {
+	g := graph.Cycle(8)
+	runAll(t, g, func(nd *congest.Node) {
+		ov := BuildBFS(nd, 0, 1)
+		res := KeyedSum(nd, ov, 10, nil, nil)
+		if len(res) != 0 {
+			panic("empty key list must give empty result")
+		}
+	})
+}
+
+func TestGatherNoItems(t *testing.T) {
+	g := graph.Grid(4, 4)
+	runAll(t, g, func(nd *congest.Node) {
+		ov := BuildBFS(nd, 0, 1)
+		got := Gather(nd, ov, 20, nil)
+		if ov.Root && len(got) != 0 {
+			panic("phantom items gathered")
+		}
+	})
+}
+
+func TestAllGatherSingleContributor(t *testing.T) {
+	g := graph.Path(12)
+	var mu sync.Mutex
+	counts := make([]int, g.N())
+	runAll(t, g, func(nd *congest.Node) {
+		ov := BuildBFS(nd, 0, 1)
+		var mine []Item
+		if nd.ID() == 7 {
+			mine = []Item{{A: 42}}
+		}
+		got := AllGather(nd, ov, 30, mine)
+		mu.Lock()
+		counts[nd.ID()] = len(got)
+		mu.Unlock()
+		if len(got) != 1 || got[0].A != 42 {
+			panic("single item not disseminated")
+		}
+	})
+	for v, c := range counts {
+		if c != 1 {
+			t.Fatalf("node %d got %d items", v, c)
+		}
+	}
+}
+
+// TestAdoptWavePartialPorts: the wave must respect the given port
+// subset (fragment-internal rooting uses exactly this).
+func TestAdoptWavePartialPorts(t *testing.T) {
+	// A cycle where the tree ports exclude the closing edge: AdoptWave
+	// over the path ports from node 0.
+	g := graph.Cycle(10)
+	var mu sync.Mutex
+	parents := make([]graph.NodeID, g.N())
+	runAll(t, g, func(nd *congest.Node) {
+		var ports []int
+		for p := 0; p < nd.Degree(); p++ {
+			peer := int(nd.Peer(p))
+			me := int(nd.ID())
+			// Path edges are between consecutive IDs.
+			if peer == me+1 || peer == me-1 {
+				ports = append(ports, p)
+			}
+		}
+		ov := AdoptWave(nd, ports, nd.ID() == 0, 40)
+		mu.Lock()
+		defer mu.Unlock()
+		if ov.Root {
+			parents[nd.ID()] = -1
+		} else {
+			parents[nd.ID()] = nd.Peer(ov.ParentPort)
+		}
+	})
+	for v := 1; v < g.N(); v++ {
+		if parents[v] != graph.NodeID(v-1) {
+			t.Fatalf("node %d adopted %d, want %d", v, parents[v], v-1)
+		}
+	}
+}
+
+func TestConvergeItemPicksGlobalMin(t *testing.T) {
+	g := graph.GNP(30, 0.2, 9)
+	better := func(a, b Item) Item {
+		if b.A < a.A {
+			return b
+		}
+		return a
+	}
+	var mu sync.Mutex
+	var rootGot Item
+	runAll(t, g, func(nd *congest.Node) {
+		ov := BuildBFS(nd, 0, 1)
+		mine := Item{A: 1000 - int64(nd.ID()), B: int64(nd.ID())}
+		got, isRoot := ConvergeItem(nd, ov, 50, mine, better)
+		if isRoot {
+			mu.Lock()
+			rootGot = got
+			mu.Unlock()
+		}
+	})
+	if rootGot.A != 1000-29 || rootGot.B != 29 {
+		t.Fatalf("root converged %+v, want min item of node 29", rootGot)
+	}
+}
+
+func TestBroadcastItemFull(t *testing.T) {
+	g := graph.Star(9)
+	var mu sync.Mutex
+	vals := make([]Item, g.N())
+	runAll(t, g, func(nd *congest.Node) {
+		ov := BuildBFS(nd, 0, 1)
+		var it Item
+		if ov.Root {
+			it = Item{A: 1, B: 2, C: 3, D: 4}
+		}
+		got := BroadcastItem(nd, ov, 60, it)
+		mu.Lock()
+		vals[nd.ID()] = got
+		mu.Unlock()
+	})
+	for v, it := range vals {
+		if it != (Item{A: 1, B: 2, C: 3, D: 4}) {
+			t.Fatalf("node %d got %+v", v, it)
+		}
+	}
+}
+
+func TestSortItemsCanonical(t *testing.T) {
+	items := []Item{{A: 2}, {A: 1, B: 5}, {A: 1, B: 2, C: 9}, {A: 1, B: 2, C: 9, D: -1}}
+	SortItems(items)
+	for i := 1; i < len(items); i++ {
+		if itemLess(items[i], items[i-1]) {
+			t.Fatalf("not sorted at %d: %+v", i, items)
+		}
+	}
+}

@@ -1,0 +1,508 @@
+package respect
+
+import (
+	"math"
+	"sort"
+
+	"distmincut/internal/congest"
+	"distmincut/internal/graph"
+	"distmincut/internal/proto"
+)
+
+// interChildPorts returns the tree-child ports that cross into child
+// fragments (attachment edges), i.e. ChildPorts minus FragChildPorts.
+func (r *respectRun) interChildPorts() []int {
+	inFrag := make(map[int]bool, len(r.in.FragChildPorts))
+	for _, p := range r.in.FragChildPorts {
+		inFrag[p] = true
+	}
+	var out []int
+	for _, p := range r.in.ChildPorts {
+		if !inFrag[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// step2a makes every node know F(v): child-fragment lists are upcast
+// within each fragment (pipelined, O(√n + frag diameter) rounds), then
+// closed under fragment-tree descendants locally. It also records, per
+// tree-child direction, whether that direction contains a fragment —
+// the raw material for merging-node detection in step 4.
+func (r *respectRun) step2a(out *Output) {
+	nd, in := r.nd, r.in
+	tag := r.tag + 0
+
+	// Fragments directly attached below me (local knowledge).
+	for _, ie := range in.InterEdges {
+		if in.FragParent[ie.FragU] == ie.FragV && ie.V == nd.ID() {
+			r.directChildFrags = append(r.directChildFrags, ie.FragU)
+		}
+		if in.FragParent[ie.FragV] == ie.FragU && ie.U == nd.ID() {
+			r.directChildFrags = append(r.directChildFrags, ie.FragV)
+		}
+	}
+	sort.Slice(r.directChildFrags, func(i, j int) bool { return r.directChildFrags[i] < r.directChildFrags[j] })
+
+	// Stream my own direct child fragments up immediately, then relay
+	// whatever the fragment children deliver.
+	if in.FragParentPort >= 0 {
+		for _, f := range r.directChildFrags {
+			nd.Send(in.FragParentPort, congest.Message{Kind: kindFragList, Tag: tag, A: f})
+		}
+	}
+	r.childDirHasFrag = make(map[int]bool, len(in.ChildPorts))
+	subFrags := append([]int64(nil), r.directChildFrags...)
+	pending := len(in.FragChildPorts)
+	inFragChild := make(map[int]bool, pending)
+	for _, p := range in.FragChildPorts {
+		inFragChild[p] = true
+	}
+	for pending > 0 {
+		p, m := nd.Recv(func(p int, m congest.Message) bool {
+			return m.Tag == tag && (m.Kind == kindFragList || m.Kind == kindFragEnd) && inFragChild[p]
+		})
+		if m.Kind == kindFragEnd {
+			pending--
+			continue
+		}
+		r.childDirHasFrag[p] = true
+		subFrags = append(subFrags, m.A)
+		if in.FragParentPort >= 0 {
+			nd.Send(in.FragParentPort, m)
+		}
+	}
+	if in.FragParentPort >= 0 {
+		nd.Send(in.FragParentPort, congest.Message{Kind: kindFragEnd, Tag: tag})
+	}
+	// Child-fragment attachment directions always contain a fragment.
+	for _, p := range r.interChildPorts() {
+		r.childDirHasFrag[p] = true
+	}
+	// F(v): close the gathered child fragments under fragment-tree
+	// descendants (global knowledge, local computation).
+	out.FragSet = make(map[int64]bool)
+	for _, f := range subFrags {
+		for _, d := range r.fragDesc[f] {
+			out.FragSet[d] = true
+		}
+	}
+}
+
+// step2b makes every node know A(v): each node's ID streams down
+// through its own fragment and one level into child fragments. The
+// stream is ordered structurally — each node forwards its own ID before
+// relaying its parent's stream — so arrival order is exactly
+// nearest-to-farthest regardless of timing.
+func (r *respectRun) step2b(out *Output) {
+	nd, in := r.nd, r.in
+	tag := r.tag + 2
+	down := in.FragChildPorts
+	cross := r.interChildPorts()
+
+	out.Ancestors = []graph.NodeID{nd.ID()}
+	r.sameFragAnc = []graph.NodeID{nd.ID()}
+
+	send := func(id int64, crossed int64) {
+		for _, p := range down {
+			nd.Send(p, congest.Message{Kind: kindAncID, Tag: tag, A: id, B: crossed})
+		}
+		if crossed == 0 {
+			for _, p := range cross {
+				nd.Send(p, congest.Message{Kind: kindAncID, Tag: tag, A: id, B: 1})
+			}
+		}
+	}
+	// My own ID enters my fragment uncrossed; send() marks it crossed
+	// on child-fragment attachment ports.
+	send(int64(nd.ID()), 0)
+
+	if in.ParentPort >= 0 {
+		for {
+			_, m := nd.Recv(func(p int, m congest.Message) bool {
+				return m.Tag == tag && (m.Kind == kindAncID || m.Kind == kindAncEnd) && p == in.ParentPort
+			})
+			if m.Kind == kindAncEnd {
+				break
+			}
+			out.Ancestors = append(out.Ancestors, graph.NodeID(m.A))
+			if m.B == 0 {
+				r.sameFragAnc = append(r.sameFragAnc, graph.NodeID(m.A))
+			}
+			send(m.A, m.B)
+		}
+	}
+	for _, p := range down {
+		nd.Send(p, congest.Message{Kind: kindAncEnd, Tag: tag})
+	}
+	for _, p := range cross {
+		nd.Send(p, congest.Message{Kind: kindAncEnd, Tag: tag})
+	}
+}
+
+// step2c makes every node know F(u) for each u ∈ A(v), as increments:
+// a pair (u, F') reaches v exactly when u is v's lowest ancestor with
+// F' ∈ F(u) (the paper's filter rule), so F(u) = F(v) ∪ {pairs at or
+// below u in the chain}.
+func (r *respectRun) step2c(out *Output) {
+	nd, in := r.nd, r.in
+	tag := r.tag + 3
+	down := in.FragChildPorts
+	cross := r.interChildPorts()
+
+	r.fragOfAncestor = make(map[graph.NodeID]map[int64]bool)
+
+	send := func(u, f, crossed int64) {
+		for _, p := range down {
+			nd.Send(p, congest.Message{Kind: kindFPair, Tag: tag, A: u, B: f, C: crossed})
+		}
+		if crossed == 0 {
+			for _, p := range cross {
+				nd.Send(p, congest.Message{Kind: kindFPair, Tag: tag, A: u, B: f, C: 1})
+			}
+		}
+	}
+	// My own pairs, in sorted fragment order for determinism.
+	ownFrags := make([]int64, 0, len(out.FragSet))
+	for f := range out.FragSet {
+		ownFrags = append(ownFrags, f)
+	}
+	sort.Slice(ownFrags, func(i, j int) bool { return ownFrags[i] < ownFrags[j] })
+	for _, f := range ownFrags {
+		send(int64(nd.ID()), f, 0)
+	}
+	if in.ParentPort >= 0 {
+		for {
+			_, m := nd.Recv(func(p int, m congest.Message) bool {
+				return m.Tag == tag && (m.Kind == kindFPair || m.Kind == kindFEnd) && p == in.ParentPort
+			})
+			if m.Kind == kindFEnd {
+				break
+			}
+			u, f := graph.NodeID(m.A), m.B
+			if out.FragSet[f] {
+				continue // a lower holder (me or below) covers this fragment
+			}
+			if r.fragOfAncestor[u] == nil {
+				r.fragOfAncestor[u] = make(map[int64]bool)
+			}
+			r.fragOfAncestor[u][f] = true
+			send(m.A, m.B, m.C)
+		}
+	}
+	for _, p := range down {
+		nd.Send(p, congest.Message{Kind: kindFEnd, Tag: tag})
+	}
+	for _, p := range cross {
+		nd.Send(p, congest.Message{Kind: kindFEnd, Tag: tag})
+	}
+}
+
+// lowestAncestorContaining returns the lowest u ∈ A(v) within v's own
+// fragment (self included) with target ∈ F(u), or -1.
+func (r *respectRun) lowestAncestorContaining(out *Output, target int64) graph.NodeID {
+	if out.FragSet[target] {
+		return r.nd.ID()
+	}
+	for _, u := range r.sameFragAnc[1:] {
+		if r.fragOfAncestor[u][target] {
+			return u
+		}
+	}
+	return -1
+}
+
+// step3 computes δ↓(v): an intra-fragment subtree sum plus globally
+// gathered fragment totals over F(v).
+func (r *respectRun) step3(out *Output) {
+	nd, in := r.nd, r.in
+	acc, isFragRoot := proto.Converge(nd, r.fragOv, r.tag+4, out.Delta, proto.Sum)
+	var mine []proto.Item
+	if isFragRoot {
+		mine = []proto.Item{{A: in.FragID, B: acc}}
+	}
+	totals := proto.AllGather(nd, in.BFS, r.tag+5, mine)
+	out.DeltaDown = acc
+	for _, it := range totals {
+		if out.FragSet[it.A] {
+			out.DeltaDown += it.B
+		}
+	}
+}
+
+// step4 detects merging nodes locally, makes the list global, and
+// builds T'_F (fragment roots + merging nodes, parent = lowest T'F
+// ancestor) as global knowledge.
+func (r *respectRun) step4(out *Output) {
+	nd, in := r.nd, r.in
+	dirs := 0
+	for _, has := range r.childDirHasFrag {
+		if has {
+			dirs++
+		}
+	}
+	out.Merging = dirs >= 2
+
+	var mine []proto.Item
+	if out.Merging {
+		mine = []proto.Item{{A: int64(nd.ID())}}
+	}
+	mergingItems := proto.AllGather(nd, in.BFS, r.tag+8, mine)
+	tpSet := make(map[graph.NodeID]bool, len(mergingItems))
+	for _, it := range mergingItems {
+		out.MergingNodes = append(out.MergingNodes, graph.NodeID(it.A))
+		tpSet[graph.NodeID(it.A)] = true
+	}
+	// Fragment roots (attachment nodes) are known globally from the
+	// fragment tree; the global root (node 0) is always in T'F.
+	for _, ie := range in.InterEdges {
+		if in.FragParent[ie.FragU] == ie.FragV {
+			tpSet[ie.U] = true
+		}
+		if in.FragParent[ie.FragV] == ie.FragU {
+			tpSet[ie.V] = true
+		}
+	}
+	tpSet[0] = true
+
+	// My lowest T'F ancestor (self included) — always within A(v),
+	// because my fragment root is in both.
+	r.lowestTPrime = -1
+	for _, u := range out.Ancestors {
+		if tpSet[u] {
+			r.lowestTPrime = u
+			break
+		}
+	}
+
+	// T'F edges: each T'F node reports (me, parent in T'F).
+	var tpMine []proto.Item
+	if tpSet[nd.ID()] {
+		parent := int64(-1)
+		for _, u := range out.Ancestors[1:] {
+			if tpSet[u] {
+				parent = int64(u)
+				break
+			}
+		}
+		tpMine = []proto.Item{{A: int64(nd.ID()), B: parent}}
+	}
+	tpEdges := proto.AllGather(nd, in.BFS, r.tag+10, tpMine)
+	out.TPrime = make(map[graph.NodeID]graph.NodeID, len(tpEdges))
+	for _, it := range tpEdges {
+		out.TPrime[graph.NodeID(it.A)] = graph.NodeID(it.B)
+	}
+}
+
+// tprimeLCA computes the LCA of two T'F nodes locally on the global
+// T'F topology.
+func tprimeLCA(tp map[graph.NodeID]graph.NodeID, a, b graph.NodeID) graph.NodeID {
+	depth := func(x graph.NodeID) int {
+		d := 0
+		for x != -1 {
+			x = tp[x]
+			d++
+		}
+		return d
+	}
+	da, db := depth(a), depth(b)
+	for da > db {
+		a = tp[a]
+		da--
+	}
+	for db > da {
+		b = tp[b]
+		db--
+	}
+	for a != b {
+		a, b = tp[a], tp[b]
+	}
+	return a
+}
+
+// step5 computes ρ(v) (every edge's LCA weight lands at the LCA) and
+// then ρ↓(v) with the step-3 machinery.
+func (r *respectRun) step5(out *Output) {
+	nd, in := r.nd, r.in
+
+	tokens := make(map[graph.NodeID]int64) // type ii: keyed by in-fragment LCA
+	globalTokens := make(map[int64]int64)  // type i: keyed by merging node
+
+	// Tree edges are local: the LCA of {me, child} is me.
+	for _, p := range in.ChildPorts {
+		tokens[nd.ID()] += r.w(p)
+	}
+
+	// Non-tree edges present under the current view run the three-case
+	// exchange, all ports in parallel. Absent edges (weight <= 0) are
+	// skipped symmetrically by both endpoints.
+	var nonTree []int
+	for p := 0; p < nd.Degree(); p++ {
+		if !r.treePortSet[p] && r.w(p) > 0 {
+			nonTree = append(nonTree, p)
+		}
+	}
+	for _, p := range nonTree {
+		nd.Send(p, congest.Message{Kind: kindLCA1, Tag: r.tag + 12, A: in.FragID})
+	}
+	peerFrag := make(map[int]int64, len(nonTree))
+	for range nonTree {
+		p, m := nd.Recv(congest.MatchKindTag(kindLCA1, r.tag+12))
+		peerFrag[p] = m.A
+	}
+
+	// Same-fragment edges: exchange in-fragment ancestor chains.
+	for _, p := range nonTree {
+		if peerFrag[p] != in.FragID {
+			continue
+		}
+		for _, u := range r.sameFragAnc {
+			nd.Send(p, congest.Message{Kind: kindChain, Tag: r.tag + 13, A: int64(u)})
+		}
+		nd.Send(p, congest.Message{Kind: kindChainEnd, Tag: r.tag + 13})
+	}
+	for _, p := range nonTree {
+		if peerFrag[p] != in.FragID {
+			continue
+		}
+		peerSet := make(map[graph.NodeID]bool)
+		for {
+			_, m := nd.Recv(func(q int, m congest.Message) bool {
+				return m.Tag == r.tag+13 && (m.Kind == kindChain || m.Kind == kindChainEnd) && q == p
+			})
+			if m.Kind == kindChainEnd {
+				break
+			}
+			peerSet[graph.NodeID(m.A)] = true
+		}
+		var z graph.NodeID = -1
+		for _, u := range r.sameFragAnc {
+			if peerSet[u] {
+				z = u
+				break
+			}
+		}
+		if z < 0 {
+			panic("respect: same-fragment edge with no common in-fragment ancestor")
+		}
+		// One designated endpoint holds the token.
+		if nd.ID() < nd.Peer(p) {
+			tokens[z] += r.w(p)
+		}
+	}
+
+	// Different-fragment edges: exchange (lowest T'F ancestor, case-3
+	// answer) and resolve.
+	for _, p := range nonTree {
+		if peerFrag[p] == in.FragID {
+			continue
+		}
+		c3 := r.lowestAncestorContaining(out, peerFrag[p])
+		nd.Send(p, congest.Message{Kind: kindLCA2, Tag: r.tag + 14, A: int64(r.lowestTPrime), B: int64(c3)})
+	}
+	for _, p := range nonTree {
+		if peerFrag[p] == in.FragID {
+			continue
+		}
+		_, m := nd.Recv(func(q int, m congest.Message) bool {
+			return m.Kind == kindLCA2 && m.Tag == r.tag+14 && q == p
+		})
+		myC3 := r.lowestAncestorContaining(out, peerFrag[p])
+		peerLowTP, peerC3 := graph.NodeID(m.A), graph.NodeID(m.B)
+		switch {
+		case myC3 >= 0:
+			// LCA is in my fragment; I hold the token (type ii).
+			tokens[myC3] += r.w(p)
+		case peerC3 >= 0:
+			// LCA in the peer's fragment; the peer holds it.
+		default:
+			// Case 2: LCA is the T'F-LCA, a merging node above both
+			// fragments; the smaller-ID endpoint emits a type-i token.
+			if nd.ID() < nd.Peer(p) {
+				z := tprimeLCA(out.TPrime, r.lowestTPrime, peerLowTP)
+				globalTokens[int64(z)] += r.w(p)
+			}
+		}
+	}
+
+	// Type i: keyed global sum over the BFS tree (keys = merging nodes).
+	keys := make([]int64, len(out.MergingNodes))
+	for i, v := range out.MergingNodes {
+		keys[i] = int64(v)
+	}
+	sums := proto.KeyedSum(nd, in.BFS, r.tag+15, keys, globalTokens)
+	out.Rho = sums[int64(nd.ID())] // zero for non-merging nodes
+
+	// Type ii: pipelined intra-fragment ancestor sum.
+	out.Rho += r.fragAncestorSum(tokens)
+
+	// ρ↓: same machinery as step 3, on ρ values.
+	acc, isFragRoot := proto.Converge(nd, r.fragOv, r.tag+18, out.Rho, proto.Sum)
+	var mine []proto.Item
+	if isFragRoot {
+		mine = []proto.Item{{A: in.FragID, B: acc}}
+	}
+	totals := proto.AllGather(nd, in.BFS, r.tag+19, mine)
+	out.RhoDown = acc
+	for _, it := range totals {
+		if out.FragSet[it.A] {
+			out.RhoDown += it.B
+		}
+	}
+}
+
+// fragAncestorSum implements the paper's pipelined intra-fragment
+// count: every node v learns the total of tokens keyed v held inside
+// v↓ ∩ F_v. Slot k of a node's upward stream carries the subtree total
+// for its (k+1)-st in-fragment ancestor; a child's stream is exactly
+// the parent's shifted by one, so slots pipeline with O(√n + depth)
+// rounds overall.
+func (r *respectRun) fragAncestorSum(tokens map[graph.NodeID]int64) int64 {
+	nd, in := r.nd, r.in
+	tag := r.tag + 17
+	chain := r.sameFragAnc // self first
+	nSlots := len(chain)   // children send one slot per element of my chain
+
+	result := tokens[nd.ID()]
+	outSlots := make([]int64, len(chain)-1)
+	for k := range outSlots {
+		outSlots[k] = tokens[chain[k+1]]
+	}
+	for k := 0; k < nSlots; k++ {
+		for _, c := range in.FragChildPorts {
+			_, m := nd.Recv(func(q int, m congest.Message) bool {
+				return m.Kind == kindSlotFrag && m.Tag == tag && q == c && m.A == int64(k)
+			})
+			if k == 0 {
+				result += m.B
+			} else {
+				outSlots[k-1] += m.B
+			}
+		}
+		if k > 0 && in.FragParentPort >= 0 {
+			nd.Send(in.FragParentPort, congest.Message{Kind: kindSlotFrag, Tag: tag, A: int64(k - 1), B: outSlots[k-1]})
+		}
+	}
+	return result
+}
+
+// finish computes C(v↓) and the global minimum.
+func (r *respectRun) finish(out *Output) {
+	nd, in := r.nd, r.in
+	out.CutBelow = out.DeltaDown - 2*out.RhoDown
+
+	mine := proto.Item{A: math.MaxInt64, B: int64(nd.ID())}
+	if in.ParentPort >= 0 { // the root's C(v↓) is not a cut
+		mine = proto.Item{A: out.CutBelow, B: int64(nd.ID())}
+	}
+	best, _ := proto.ConvergeItem(nd, in.BFS, r.tag+22, mine, func(a, b proto.Item) proto.Item {
+		if b.A < a.A || (b.A == a.A && b.B < a.B) {
+			return b
+		}
+		return a
+	})
+	best = proto.BroadcastItem(nd, in.BFS, r.tag+23, best)
+	out.Best = best.A
+	out.BestNode = graph.NodeID(best.B)
+}

@@ -1,0 +1,79 @@
+// Package sampling implements Karger's skeleton sampling [Kar94], the
+// reduction the paper uses to turn its exact small-λ algorithm into a
+// (1+ε)-approximation: sample each unit of edge weight independently
+// with probability p = 2^-level; once p·λ ≈ κ(ε) = Θ(log n / ε²),
+// every cut of the skeleton is within (1±ε) of p times its true
+// weight, so a minimum cut of the skeleton is a (1+O(ε))-minimum cut
+// of the original graph and the skeleton's cut value rescales to a
+// (1±ε) estimate of λ.
+//
+// Both endpoints of an edge must sample identically without
+// communication; SampleWeight therefore derives its randomness from a
+// splitmix64 hash of (seed, packed endpoints, level) — shared
+// deterministic randomness, the standard public-coins assumption.
+package sampling
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Kappa returns the skeleton threshold κ(ε, n): descent stops when the
+// sampled graph's minimum cut is at most κ. The ln n factor is
+// Karger's union bound over cuts; the constant is the practical choice
+// validated by experiment E4 (theoretical analyses use larger
+// constants; only the measured approximation quality matters here).
+func Kappa(eps float64, n int) int64 {
+	if eps <= 0 || eps >= 1 {
+		eps = 0.5
+	}
+	k := int64(math.Ceil(math.Log(float64(n)+2)/(eps*eps))) + 3
+	return k
+}
+
+// splitmix64 is the standard 64-bit mixer; good avalanche behavior for
+// seed derivation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// edgeSeed derives a deterministic per-(edge, level) RNG seed shared by
+// both endpoints.
+func edgeSeed(seed int64, uv int64, level int) int64 {
+	h := splitmix64(uint64(seed))
+	h = splitmix64(h ^ uint64(uv))
+	h = splitmix64(h ^ uint64(level)<<32)
+	return int64(h >> 1)
+}
+
+// SampleWeight draws Binomial(w, 2^-level): the skeleton weight of an
+// edge of weight w at the given sampling level. Level <= 0 returns w
+// unchanged. The draw is identical for both endpoints (it depends only
+// on seed, the packed endpoint pair uv, and the level) and runs in
+// O(successes+1) expected time via geometric skipping, so heavy edges
+// at aggressive levels stay cheap.
+func SampleWeight(seed int64, uv int64, level int, w int64) int64 {
+	if level <= 0 || w <= 0 {
+		if w < 0 {
+			return 0
+		}
+		return w
+	}
+	p := math.Ldexp(1, -level)
+	rng := rand.New(rand.NewSource(edgeSeed(seed, uv, level)))
+	// Geometric skipping: jump log(1-U)/log(1-p) failed trials at a time.
+	logq := math.Log1p(-p)
+	var successes, pos int64
+	for {
+		u := rng.Float64()
+		skip := int64(math.Floor(math.Log1p(-u) / logq))
+		pos += skip + 1
+		if pos > w {
+			return successes
+		}
+		successes++
+	}
+}

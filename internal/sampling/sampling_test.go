@@ -1,0 +1,103 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleWeightDeterministic(t *testing.T) {
+	f := func(seed int64, uv int64, rawLevel uint8, rawW uint16) bool {
+		level := int(rawLevel % 10)
+		w := int64(rawW)
+		a := SampleWeight(seed, uv, level, w)
+		b := SampleWeight(seed, uv, level, w)
+		return a == b && a >= 0 && a <= w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWeightLevelZeroIdentity(t *testing.T) {
+	for _, w := range []int64{0, 1, 7, 1000} {
+		if got := SampleWeight(1, 2, 0, w); got != w {
+			t.Fatalf("level 0 sample of %d = %d", w, got)
+		}
+	}
+	if SampleWeight(1, 2, 3, -5) != 0 {
+		t.Fatal("negative weight must sample to 0")
+	}
+}
+
+// TestSampleWeightMean: the empirical mean over many edges must
+// concentrate near w·2^-level.
+func TestSampleWeightMean(t *testing.T) {
+	const (
+		w     = 64
+		level = 2 // p = 1/4
+		edges = 4000
+	)
+	var total int64
+	for i := 0; i < edges; i++ {
+		total += SampleWeight(42, int64(i)<<31|int64(i+1), level, w)
+	}
+	mean := float64(total) / edges
+	want := float64(w) * math.Ldexp(1, -level)
+	if math.Abs(mean-want) > 0.5 {
+		t.Fatalf("empirical mean %.3f, want %.1f +- 0.5", mean, want)
+	}
+}
+
+// TestSampleWeightVariance: the variance must match Binomial(w,p)
+// within a loose band (distinguishes true binomial sampling from, say,
+// deterministic rounding).
+func TestSampleWeightVariance(t *testing.T) {
+	const (
+		w     = 32
+		level = 1 // p = 1/2
+		edges = 4000
+	)
+	var sum, sumsq float64
+	for i := 0; i < edges; i++ {
+		x := float64(SampleWeight(7, int64(i)<<31|int64(2*i+3), level, w))
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / edges
+	variance := sumsq/edges - mean*mean
+	want := float64(w) * 0.5 * 0.5 // w·p·(1-p)
+	if variance < want*0.7 || variance > want*1.3 {
+		t.Fatalf("variance %.2f outside [%.2f, %.2f]", variance, want*0.7, want*1.3)
+	}
+}
+
+func TestSampleWeightDiffersAcrossEdgesAndLevels(t *testing.T) {
+	// Not all edges may sample identically (sanity against a broken
+	// seed derivation).
+	distinct := map[int64]bool{}
+	for i := 0; i < 50; i++ {
+		distinct[SampleWeight(3, int64(i)<<31|int64(i+100), 1, 40)] = true
+	}
+	if len(distinct) < 5 {
+		t.Fatalf("only %d distinct samples across 50 edges", len(distinct))
+	}
+	a := SampleWeight(3, 5<<31|9, 1, 40)
+	b := SampleWeight(3, 5<<31|9, 2, 40)
+	c := SampleWeight(4, 5<<31|9, 1, 40)
+	if a == b && b == c {
+		t.Fatal("samples identical across levels and seeds")
+	}
+}
+
+func TestKappaMonotonicity(t *testing.T) {
+	if Kappa(0.25, 100) <= Kappa(0.5, 100) {
+		t.Fatal("smaller epsilon must need larger kappa")
+	}
+	if Kappa(0.5, 10000) <= Kappa(0.5, 10) {
+		t.Fatal("kappa must grow with n")
+	}
+	if Kappa(-1, 100) != Kappa(0.5, 100) {
+		t.Fatal("invalid epsilon must fall back to 0.5")
+	}
+}

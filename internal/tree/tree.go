@@ -1,0 +1,242 @@
+// Package tree provides sequential rooted-tree machinery: construction
+// from parent arrays, ancestry queries via Euler intervals, LCA via
+// binary lifting, and subtree aggregation. It is the reference
+// implementation the distributed algorithms are verified against, and
+// the input representation for spanning trees handed to the pipeline.
+package tree
+
+import (
+	"errors"
+	"fmt"
+
+	"distmincut/internal/graph"
+)
+
+// ErrNotATree is returned when a parent array does not describe a tree.
+var ErrNotATree = errors.New("tree: parent array is not a tree")
+
+// Tree is a rooted tree on nodes 0..n-1.
+type Tree struct {
+	root       graph.NodeID
+	parent     []graph.NodeID // -1 at root
+	parentEdge []int          // graph edge ID toward parent; -1 at root
+	children   [][]graph.NodeID
+	depth      []int
+	order      []graph.NodeID // preorder
+	tin, tout  []int          // Euler interval: u is an ancestor of v iff tin[u] <= tin[v] < tout[u]
+	up         [][]int32      // binary lifting table; up[0][v] = parent
+}
+
+// New builds a rooted tree from a parent array. parent[root] must be
+// -1; parentEdge may be nil if edge IDs are not needed (it is then
+// filled with -1).
+func New(root graph.NodeID, parent []graph.NodeID, parentEdge []int) (*Tree, error) {
+	n := len(parent)
+	if int(root) < 0 || int(root) >= n {
+		return nil, fmt.Errorf("%w: root %d out of range", ErrNotATree, root)
+	}
+	if parent[root] != -1 {
+		return nil, fmt.Errorf("%w: parent[root] = %d, want -1", ErrNotATree, parent[root])
+	}
+	if parentEdge == nil {
+		parentEdge = make([]int, n)
+		for i := range parentEdge {
+			parentEdge[i] = -1
+		}
+	}
+	if len(parentEdge) != n {
+		return nil, fmt.Errorf("%w: parentEdge length %d != n %d", ErrNotATree, len(parentEdge), n)
+	}
+	t := &Tree{
+		root:       root,
+		parent:     append([]graph.NodeID(nil), parent...),
+		parentEdge: append([]int(nil), parentEdge...),
+		children:   make([][]graph.NodeID, n),
+		depth:      make([]int, n),
+		order:      make([]graph.NodeID, 0, n),
+		tin:        make([]int, n),
+		tout:       make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		p := parent[v]
+		if graph.NodeID(v) == root {
+			continue
+		}
+		if p < 0 || int(p) >= n || p == graph.NodeID(v) {
+			return nil, fmt.Errorf("%w: parent[%d] = %d", ErrNotATree, v, p)
+		}
+		t.children[p] = append(t.children[p], graph.NodeID(v))
+	}
+	// Iterative preorder DFS from the root; children in ascending ID
+	// order (they were appended in ascending v).
+	timer := 0
+	type frame struct {
+		v    graph.NodeID
+		next int
+	}
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{v: root})
+	t.tin[root] = timer
+	timer++
+	t.order = append(t.order, root)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(t.children[f.v]) {
+			c := t.children[f.v][f.next]
+			f.next++
+			t.depth[c] = t.depth[f.v] + 1
+			t.tin[c] = timer
+			timer++
+			t.order = append(t.order, c)
+			stack = append(stack, frame{v: c})
+			continue
+		}
+		t.tout[f.v] = timer
+		stack = stack[:len(stack)-1]
+	}
+	if len(t.order) != n {
+		return nil, fmt.Errorf("%w: %d of %d nodes reachable from root (cycle or forest)", ErrNotATree, len(t.order), n)
+	}
+	t.buildLifting()
+	return t, nil
+}
+
+// FromGraphTree roots an (unrooted) tree-shaped graph at root.
+func FromGraphTree(g *graph.Graph, root graph.NodeID) (*Tree, error) {
+	if g.M() != g.N()-1 {
+		return nil, fmt.Errorf("%w: %d edges on %d nodes", ErrNotATree, g.M(), g.N())
+	}
+	dist, parent := graph.BFS(g, root)
+	parentEdge := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		parentEdge[v] = -1
+		if dist[v] == -1 {
+			return nil, fmt.Errorf("%w: node %d unreachable", ErrNotATree, v)
+		}
+		if graph.NodeID(v) != root {
+			for _, h := range g.Adj(graph.NodeID(v)) {
+				if h.Peer == parent[v] {
+					parentEdge[v] = h.EdgeID
+					break
+				}
+			}
+		}
+	}
+	return New(root, parent, parentEdge)
+}
+
+func (t *Tree) buildLifting() {
+	n := len(t.parent)
+	levels := 1
+	for 1<<levels < n {
+		levels++
+	}
+	t.up = make([][]int32, levels+1)
+	t.up[0] = make([]int32, n)
+	for v := 0; v < n; v++ {
+		if t.parent[v] < 0 {
+			t.up[0][v] = int32(v)
+		} else {
+			t.up[0][v] = int32(t.parent[v])
+		}
+	}
+	for l := 1; l <= levels; l++ {
+		t.up[l] = make([]int32, n)
+		for v := 0; v < n; v++ {
+			t.up[l][v] = t.up[l-1][t.up[l-1][v]]
+		}
+	}
+}
+
+// N returns the number of nodes.
+func (t *Tree) N() int { return len(t.parent) }
+
+// Root returns the root node.
+func (t *Tree) Root() graph.NodeID { return t.root }
+
+// Parent returns v's parent (-1 at the root).
+func (t *Tree) Parent(v graph.NodeID) graph.NodeID { return t.parent[v] }
+
+// ParentEdge returns the graph edge ID of the edge {v, parent(v)}, or
+// -1 at the root or when the tree was built without edge IDs.
+func (t *Tree) ParentEdge(v graph.NodeID) int { return t.parentEdge[v] }
+
+// Children returns v's children in ascending ID order. Callers must not
+// mutate the slice.
+func (t *Tree) Children(v graph.NodeID) []graph.NodeID { return t.children[v] }
+
+// Depth returns v's distance from the root.
+func (t *Tree) Depth(v graph.NodeID) int { return t.depth[v] }
+
+// Height returns the maximum depth.
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// PreOrder returns nodes in preorder. Callers must not mutate it.
+func (t *Tree) PreOrder() []graph.NodeID { return t.order }
+
+// IsAncestor reports whether a is an ancestor of v (inclusive: every
+// node is its own ancestor, matching the paper's convention that A(v)
+// contains v).
+func (t *Tree) IsAncestor(a, v graph.NodeID) bool {
+	return t.tin[a] <= t.tin[v] && t.tin[v] < t.tout[a]
+}
+
+// LCA returns the lowest common ancestor of u and v.
+func (t *Tree) LCA(u, v graph.NodeID) graph.NodeID {
+	if t.IsAncestor(u, v) {
+		return u
+	}
+	if t.IsAncestor(v, u) {
+		return v
+	}
+	for l := len(t.up) - 1; l >= 0; l-- {
+		a := graph.NodeID(t.up[l][u])
+		if !t.IsAncestor(a, v) {
+			u = a
+		}
+	}
+	return t.parent[u]
+}
+
+// SubtreeSize returns |v↓|, the number of nodes in v's subtree
+// including v.
+func (t *Tree) SubtreeSize(v graph.NodeID) int {
+	return t.tout[v] - t.tin[v]
+}
+
+// SubtreeSum returns, for every v, the sum of vals over v↓ (the
+// subtree rooted at v, inclusive). This is the sequential analogue of
+// the paper's δ↓ and ρ↓ accumulations.
+func (t *Tree) SubtreeSum(vals []int64) []int64 {
+	out := make([]int64, len(vals))
+	copy(out, vals)
+	// Reverse preorder visits children before parents.
+	for i := len(t.order) - 1; i >= 0; i-- {
+		v := t.order[i]
+		if p := t.parent[v]; p >= 0 {
+			out[p] += out[v]
+		}
+	}
+	return out
+}
+
+// AncestorChain returns v's ancestors from v (inclusive) up to and
+// including stop, or up to the root if stop is -1.
+func (t *Tree) AncestorChain(v graph.NodeID, stop graph.NodeID) []graph.NodeID {
+	var chain []graph.NodeID
+	for u := v; ; u = t.parent[u] {
+		chain = append(chain, u)
+		if u == stop || t.parent[u] < 0 {
+			break
+		}
+	}
+	return chain
+}

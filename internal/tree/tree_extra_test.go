@@ -1,0 +1,69 @@
+package tree
+
+import (
+	"testing"
+
+	"distmincut/internal/graph"
+)
+
+func TestHeight(t *testing.T) {
+	tr := figureTree(t)
+	if h := tr.Height(); h != 5 {
+		t.Fatalf("height = %d, want 5", h)
+	}
+	single, err := New(0, []graph.NodeID{-1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Height() != 0 {
+		t.Fatal("single-node height must be 0")
+	}
+}
+
+func TestLCAIdentityAndRoot(t *testing.T) {
+	tr := figureTree(t)
+	if tr.LCA(9, 9) != 9 {
+		t.Fatal("LCA(v,v) != v")
+	}
+	if tr.LCA(10, 15) != 0 {
+		t.Fatalf("LCA(10,15) = %d, want 0", tr.LCA(10, 15))
+	}
+	if tr.LCA(0, 12) != 0 {
+		t.Fatal("LCA with root must be root")
+	}
+}
+
+func TestSubtreeSizeLeaf(t *testing.T) {
+	tr := figureTree(t)
+	for _, leaf := range []graph.NodeID{10, 11, 12, 13, 14, 15, 8, 9} {
+		if len(tr.Children(leaf)) == 0 && tr.SubtreeSize(leaf) != 1 {
+			t.Fatalf("leaf %d subtree size %d", leaf, tr.SubtreeSize(leaf))
+		}
+	}
+}
+
+func TestFromGraphTreeSingleNode(t *testing.T) {
+	tr, err := FromGraphTree(graph.Path(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 1 || tr.Root() != 0 || tr.Parent(0) != -1 {
+		t.Fatal("single-node tree malformed")
+	}
+}
+
+func TestSubtreeSumNegativeValues(t *testing.T) {
+	tr := figureTree(t)
+	vals := make([]int64, tr.N())
+	for i := range vals {
+		vals[i] = -int64(i)
+	}
+	sums := tr.SubtreeSum(vals)
+	var want int64
+	for i := range vals {
+		want += vals[i]
+	}
+	if sums[0] != want {
+		t.Fatalf("root sum %d, want %d", sums[0], want)
+	}
+}

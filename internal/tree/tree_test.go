@@ -1,0 +1,198 @@
+package tree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distmincut/internal/graph"
+)
+
+// fixed example: the 16-node tree of the paper's Figure 1(a).
+//
+//	        0
+//	   1         4
+//	2     3
+//	5 6 7 (children rearranged: see figureTree)
+//
+// We encode a concrete 16-node tree matching the figure's shape.
+func figureTree(t *testing.T) *Tree {
+	t.Helper()
+	parent := []graph.NodeID{-1, 0, 1, 2, 0, 2, 3, 4, 5, 5, 6, 6, 7, 7, 7, 4}
+	tr, err := New(0, parent, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewRejectsBadParents(t *testing.T) {
+	cases := []struct {
+		name   string
+		root   graph.NodeID
+		parent []graph.NodeID
+	}{
+		{"cycle", 0, []graph.NodeID{-1, 2, 1}},
+		{"self parent", 0, []graph.NodeID{-1, 1}},
+		{"root has parent", 0, []graph.NodeID{1, -1}},
+		{"out of range", 0, []graph.NodeID{-1, 9}},
+		{"root out of range", 5, []graph.NodeID{-1, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.root, tc.parent, nil); !errors.Is(err, ErrNotATree) {
+				t.Fatalf("err = %v, want ErrNotATree", err)
+			}
+		})
+	}
+}
+
+func TestDepthAndChildren(t *testing.T) {
+	tr := figureTree(t)
+	if tr.Depth(0) != 0 || tr.Depth(1) != 1 || tr.Depth(3) != 3 || tr.Depth(14) != 3 || tr.Depth(10) != 5 {
+		t.Fatalf("depths wrong: %d %d %d %d %d", tr.Depth(0), tr.Depth(1), tr.Depth(3), tr.Depth(14), tr.Depth(10))
+	}
+	if len(tr.Children(7)) != 3 {
+		t.Fatalf("children(7) = %v", tr.Children(7))
+	}
+	if tr.SubtreeSize(0) != 16 {
+		t.Fatalf("subtree size of root = %d", tr.SubtreeSize(0))
+	}
+}
+
+func TestIsAncestorInclusive(t *testing.T) {
+	tr := figureTree(t)
+	if !tr.IsAncestor(0, 14) || !tr.IsAncestor(2, 10) || !tr.IsAncestor(7, 7) {
+		t.Fatal("ancestor relation wrong")
+	}
+	if tr.IsAncestor(1, 4) || tr.IsAncestor(14, 7) {
+		t.Fatal("non-ancestors reported as ancestors")
+	}
+}
+
+// naiveLCA walks parents upward.
+func naiveLCA(tr *Tree, u, v graph.NodeID) graph.NodeID {
+	seen := map[graph.NodeID]bool{}
+	for x := u; ; x = tr.Parent(x) {
+		seen[x] = true
+		if tr.Parent(x) < 0 {
+			break
+		}
+	}
+	for x := v; ; x = tr.Parent(x) {
+		if seen[x] {
+			return x
+		}
+	}
+}
+
+func TestLCAMatchesNaive(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%80) + 2
+		g := graph.RandomTree(n, seed)
+		tr, err := FromGraphTree(g, 0)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 7))
+		for trial := 0; trial < 30; trial++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			if tr.LCA(u, v) != naiveLCA(tr, u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtreeSumMatchesNaive(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%60) + 2
+		g := graph.RandomTree(n, seed)
+		tr, err := FromGraphTree(g, 0)
+		if err != nil {
+			return false
+		}
+		vals := make([]int64, n)
+		rng := rand.New(rand.NewSource(seed * 3))
+		for i := range vals {
+			vals[i] = rng.Int63n(100) - 50
+		}
+		got := tr.SubtreeSum(vals)
+		for v := 0; v < n; v++ {
+			var want int64
+			for u := 0; u < n; u++ {
+				if tr.IsAncestor(graph.NodeID(v), graph.NodeID(u)) {
+					want += vals[u]
+				}
+			}
+			if got[v] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromGraphTreeRejectsNonTree(t *testing.T) {
+	if _, err := FromGraphTree(graph.Cycle(5), 0); !errors.Is(err, ErrNotATree) {
+		t.Fatalf("cycle accepted as tree: %v", err)
+	}
+}
+
+func TestFromGraphTreeParentEdges(t *testing.T) {
+	g := graph.RandomTree(25, 3)
+	tr, err := FromGraphTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < g.N(); v++ {
+		e := g.Edge(tr.ParentEdge(graph.NodeID(v)))
+		if e.Other(graph.NodeID(v)) != tr.Parent(graph.NodeID(v)) {
+			t.Fatalf("parent edge of %d inconsistent", v)
+		}
+	}
+}
+
+func TestAncestorChain(t *testing.T) {
+	tr := figureTree(t)
+	chain := tr.AncestorChain(10, -1)
+	want := []graph.NodeID{10, 6, 3, 2, 1, 0}
+	if len(chain) != len(want) {
+		t.Fatalf("chain = %v, want %v", chain, want)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", chain, want)
+		}
+	}
+	part := tr.AncestorChain(10, 2)
+	if len(part) != 4 || part[3] != 2 {
+		t.Fatalf("partial chain = %v", part)
+	}
+}
+
+func TestPreOrderParentBeforeChild(t *testing.T) {
+	g := graph.RandomTree(50, 11)
+	tr, err := FromGraphTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, tr.N())
+	for i, v := range tr.PreOrder() {
+		pos[v] = i
+	}
+	for v := 1; v < tr.N(); v++ {
+		if pos[v] <= pos[tr.Parent(graph.NodeID(v))] {
+			t.Fatalf("node %d before its parent in preorder", v)
+		}
+	}
+}

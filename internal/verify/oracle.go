@@ -1,0 +1,123 @@
+// Package verify provides sequential reference computations and
+// invariant checks used to validate every distributed result in the
+// repository: the 1-respecting-cut oracle (Karger's Lemma 5.9 computed
+// centrally), cut re-evaluation from node sides, and structural
+// validators for partitions and packings.
+package verify
+
+import (
+	"fmt"
+
+	"distmincut/internal/graph"
+	"distmincut/internal/tree"
+)
+
+// Quantities holds, for every node v of a rooted spanning tree, the
+// paper's per-node quantities: δ(v) (weighted degree), ρ(v) (total
+// weight of edges whose endpoint LCA is v), their subtree accumulations
+// δ↓(v), ρ↓(v), and the resulting cut values C(v↓) = δ↓(v) − 2ρ↓(v)
+// (Lemma 2.2 / Karger Lemma 5.9).
+type Quantities struct {
+	Delta     []int64
+	Rho       []int64
+	DeltaDown []int64
+	RhoDown   []int64
+	Cut       []int64
+}
+
+// OneRespectOracle computes Quantities sequentially. The tree must span
+// g. Edges of the tree itself are included in ρ (their LCA is the upper
+// endpoint), exactly as in Karger's definition.
+func OneRespectOracle(g *graph.Graph, t *tree.Tree) *Quantities {
+	n := g.N()
+	q := &Quantities{
+		Delta: make([]int64, n),
+		Rho:   make([]int64, n),
+	}
+	for v := 0; v < n; v++ {
+		q.Delta[v] = g.WeightedDegree(graph.NodeID(v))
+	}
+	for _, e := range g.Edges() {
+		q.Rho[t.LCA(e.U, e.V)] += e.W
+	}
+	q.DeltaDown = t.SubtreeSum(q.Delta)
+	q.RhoDown = t.SubtreeSum(q.Rho)
+	q.Cut = make([]int64, n)
+	for v := 0; v < n; v++ {
+		q.Cut[v] = q.DeltaDown[v] - 2*q.RhoDown[v]
+	}
+	return q
+}
+
+// BestOneRespect returns the minimum of C(v↓) over all non-root v and
+// the smallest such v (ties toward lower ID, matching the distributed
+// algorithm's tie-breaking).
+func BestOneRespect(q *Quantities, t *tree.Tree) (int64, graph.NodeID) {
+	var best int64
+	bestV := graph.NodeID(-1)
+	for v := 0; v < len(q.Cut); v++ {
+		if graph.NodeID(v) == t.Root() {
+			continue
+		}
+		if bestV == -1 || q.Cut[v] < best {
+			best = q.Cut[v]
+			bestV = graph.NodeID(v)
+		}
+	}
+	return best, bestV
+}
+
+// SubtreeCutDirect recomputes C(v↓) by brute force: the total weight of
+// graph edges with exactly one endpoint in v↓. Tests use it to confirm
+// the Lemma 2.2 identity independently.
+func SubtreeCutDirect(g *graph.Graph, t *tree.Tree, v graph.NodeID) int64 {
+	side := make([]bool, g.N())
+	for u := 0; u < g.N(); u++ {
+		side[u] = t.IsAncestor(v, graph.NodeID(u))
+	}
+	return g.CutWeight(side)
+}
+
+// SpanningTreeOf checks that t's parent edges all exist in g and span
+// it; returns an error otherwise.
+func SpanningTreeOf(g *graph.Graph, t *tree.Tree) error {
+	if t.N() != g.N() {
+		return fmt.Errorf("verify: tree has %d nodes, graph %d", t.N(), g.N())
+	}
+	for v := 0; v < t.N(); v++ {
+		nv := graph.NodeID(v)
+		if nv == t.Root() {
+			continue
+		}
+		eid := t.ParentEdge(nv)
+		if eid < 0 || eid >= g.M() {
+			return fmt.Errorf("verify: node %d parent edge %d out of range", v, eid)
+		}
+		e := g.Edge(eid)
+		if !(e.U == nv && e.V == t.Parent(nv)) && !(e.V == nv && e.U == t.Parent(nv)) {
+			return fmt.Errorf("verify: node %d parent edge %d is {%d,%d}, want {%d,%d}",
+				v, eid, e.U, e.V, v, t.Parent(nv))
+		}
+	}
+	return nil
+}
+
+// CutSides checks that side is a proper nonempty cut (both sides
+// nonempty) and returns its weight.
+func CutSides(g *graph.Graph, side []bool) (int64, error) {
+	if len(side) != g.N() {
+		return 0, fmt.Errorf("verify: side length %d != n %d", len(side), g.N())
+	}
+	in, out := 0, 0
+	for _, s := range side {
+		if s {
+			in++
+		} else {
+			out++
+		}
+	}
+	if in == 0 || out == 0 {
+		return 0, fmt.Errorf("verify: degenerate cut (%d,%d)", in, out)
+	}
+	return g.CutWeight(side), nil
+}

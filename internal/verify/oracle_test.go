@@ -1,0 +1,122 @@
+package verify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distmincut/internal/graph"
+	"distmincut/internal/tree"
+)
+
+// spanning builds a random spanning tree of g rooted at 0.
+func spanning(t *testing.T, g *graph.Graph, seed int64) *tree.Tree {
+	t.Helper()
+	parent, parentEdge := graph.RandomSpanningTree(g, 0, seed)
+	tr, err := tree.New(0, parent, parentEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestLemma22Identity: C(v↓) computed via δ↓ − 2ρ↓ must equal the
+// brute-force cut weight of the subtree side, for every node — this is
+// the paper's Lemma 2.2 (Karger's Lemma 5.9).
+func TestLemma22Identity(t *testing.T) {
+	workloads := []*graph.Graph{
+		graph.Cycle(12),
+		graph.Complete(8),
+		graph.Grid(4, 5),
+		graph.GNP(25, 0.25, 3),
+		graph.AssignWeights(graph.GNP(20, 0.3, 4), 1, 10, 5),
+		graph.Hypercube(4),
+	}
+	for wi, g := range workloads {
+		tr := spanning(t, g, int64(wi)+10)
+		q := OneRespectOracle(g, tr)
+		for v := 0; v < g.N(); v++ {
+			want := SubtreeCutDirect(g, tr, graph.NodeID(v))
+			if q.Cut[v] != want {
+				t.Fatalf("workload %d node %d: Lemma 2.2 gives %d, direct %d", wi, v, q.Cut[v], want)
+			}
+		}
+		if q.Cut[tr.Root()] != 0 {
+			t.Fatalf("workload %d: C(root↓) = %d, want 0", wi, q.Cut[tr.Root()])
+		}
+	}
+}
+
+// Property: the identity holds on arbitrary random weighted graphs and
+// random spanning trees.
+func TestLemma22Property(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%25) + 3
+		g := graph.AssignWeights(graph.GNP(n, 0.3, seed), 1, 7, seed+1)
+		parent, parentEdge := graph.RandomSpanningTree(g, 0, seed+2)
+		tr, err := tree.New(0, parent, parentEdge)
+		if err != nil {
+			return false
+		}
+		q := OneRespectOracle(g, tr)
+		for v := 0; v < n; v++ {
+			if q.Cut[v] != SubtreeCutDirect(g, tr, graph.NodeID(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestOneRespectFindsPlantedBridge(t *testing.T) {
+	// A bridge graph: any spanning tree contains the bridge, and the
+	// 1-respecting minimum equals 1.
+	g := graph.Barbell(6, 0)
+	tr := spanning(t, g, 9)
+	q := OneRespectOracle(g, tr)
+	best, v := BestOneRespect(q, tr)
+	if best != 1 {
+		t.Fatalf("best 1-respecting cut %d, want 1 (bridge)", best)
+	}
+	if v < 0 {
+		t.Fatal("no argmin returned")
+	}
+}
+
+func TestSpanningTreeOfValidation(t *testing.T) {
+	g := graph.GNP(20, 0.3, 6)
+	tr := spanning(t, g, 7)
+	if err := SpanningTreeOf(g, tr); err != nil {
+		t.Fatalf("valid spanning tree rejected: %v", err)
+	}
+	// A tree of a different graph must fail.
+	other := graph.Path(20)
+	badTree, err := tree.FromGraphTree(other, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 1) {
+		t.Skip("path edges coincide with g; pick a different seed")
+	}
+	if err := SpanningTreeOf(g, badTree); err == nil {
+		t.Fatal("foreign tree accepted")
+	}
+}
+
+func TestCutSidesRejectsDegenerate(t *testing.T) {
+	g := graph.Cycle(5)
+	if _, err := CutSides(g, make([]bool, 5)); err == nil {
+		t.Fatal("empty side accepted")
+	}
+	all := []bool{true, true, true, true, true}
+	if _, err := CutSides(g, all); err == nil {
+		t.Fatal("full side accepted")
+	}
+	one := []bool{true, false, false, false, false}
+	w, err := CutSides(g, one)
+	if err != nil || w != 2 {
+		t.Fatalf("singleton side: w=%d err=%v, want 2,nil", w, err)
+	}
+}

@@ -1,0 +1,51 @@
+package distmincut
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distmincut/internal/baseline"
+	"distmincut/internal/graph"
+	"distmincut/internal/verify"
+)
+
+// TestMinCutPropertyAgainstStoerWagner is the repository's end-to-end
+// property: on arbitrary random weighted graphs, the full distributed
+// pipeline (BFS + MST + packing + Theorem 2.1 + side marking) returns
+// exactly the Stoer–Wagner minimum cut with a valid side.
+func TestMinCutPropertyAgainstStoerWagner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	f := func(seed int64, rawN uint8, rawW uint8) bool {
+		n := int(rawN%18) + 4
+		wHi := int64(rawW%6) + 1
+		g := graph.AssignWeights(graph.GNP(n, 0.35, seed), 1, wHi, seed+1)
+		want, _, err := baseline.StoerWagner(g)
+		if err != nil {
+			return false
+		}
+		res, err := MinCut(g, &Options{Seed: seed + 2})
+		if err != nil {
+			t.Logf("n=%d seed=%d: %v", n, seed, err)
+			return false
+		}
+		if !res.Exact || res.Value != want {
+			t.Logf("n=%d seed=%d: got %d (exact=%v), want %d", n, seed, res.Value, res.Exact, want)
+			return false
+		}
+		w, err := verify.CutSides(g, res.Side)
+		return err == nil && w == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightCapRejected(t *testing.T) {
+	g := NewGraph(2)
+	g.MustAddEdge(0, 1, MaxWeight+1)
+	if _, err := MinCut(g, nil); err == nil {
+		t.Fatal("oversized weight accepted")
+	}
+}
