@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test test-short vet fmt-check bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The fast gate CI runs on every push: race-enabled, with the slow
+# experiment-suite tests skipped via testing.Short.
+test-short:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench runs the engine microbenchmarks and writes both the raw output
+# (BENCH_engine.txt) and a machine-readable BENCH_engine.json, seeding
+# the performance trajectory across PRs.
+# No pipe here: a panicking benchmark must fail the target, and `go
+# test | tee` would hide its exit status under sh (no pipefail).
+bench:
+	$(GO) test ./internal/congest -run '^$$' -bench BenchmarkEngine -benchmem -count 1 > BENCH_engine.txt
+	@cat BENCH_engine.txt
+	$(GO) run ./cmd/benchjson < BENCH_engine.txt > BENCH_engine.json
+	@echo "wrote BENCH_engine.json"
+
+ci: fmt-check vet build test-short

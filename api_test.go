@@ -45,6 +45,9 @@ func TestMinCutExactMatchesStoerWagner(t *testing.T) {
 }
 
 func TestApproxMinCutQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sampling descent is slow (dominates the -race gate)")
+	}
 	// λ = 39 exceeds κ(0.5, 40) = 18, forcing at least one sampling
 	// level (a planted cut would not do: isolating one node there is
 	// cheaper than the planted crossing and falls below κ).

@@ -23,9 +23,10 @@ func run() int {
 	quick := flag.Bool("quick", false, "small workloads (seconds instead of minutes)")
 	seed := flag.Int64("seed", 1, "seed for workloads and protocols")
 	only := flag.String("only", "", "run a single experiment (E1..E9)")
+	workers := flag.Int("workers", 0, "bound concurrently executing node programs (0 = unbounded)")
 	flag.Parse()
 
-	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 	experiments := map[string]func(harness.Config) *harness.Table{
 		"E1": harness.E1Correctness,
 		"E2": harness.E2Scaling,

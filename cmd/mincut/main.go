@@ -32,6 +32,7 @@ func run() int {
 	mode := flag.String("mode", "exact", "exact | approx | respect")
 	eps := flag.Float64("eps", 0.25, "approximation parameter (approx mode)")
 	seed := flag.Int64("seed", 1, "seed")
+	workers := flag.Int("workers", 0, "bound concurrently executing node programs (0 = unbounded)")
 	weights := flag.String("weights", "", "random edge weights lo,hi (e.g. 1,50)")
 	flag.Parse()
 
@@ -64,7 +65,7 @@ func run() int {
 	}
 	fmt.Printf("ground truth (Stoer–Wagner): λ = %d\n\n", sw)
 
-	opts := &distmincut.Options{Seed: *seed, Epsilon: *eps}
+	opts := &distmincut.Options{Seed: *seed, Epsilon: *eps, Workers: *workers}
 	var res *distmincut.Result
 	switch *mode {
 	case "exact":

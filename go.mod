@@ -1,0 +1,3 @@
+module distmincut
+
+go 1.24

@@ -1,0 +1,129 @@
+package congest
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"distmincut/internal/graph"
+)
+
+// BenchmarkEngine* quantify raw scheduler cost on the generator
+// families used throughout the experiment suite: paths (long diameter,
+// low degree), random-regular expanders (the paper's hard instances),
+// and planted-community graphs. Each iteration simulates one full run;
+// allocations per op are dominated by the engine's per-round
+// bookkeeping, which is what the round-synchronous scheduler is meant
+// to eliminate.
+
+const benchKind uint8 = 0x42
+
+// exchangeProgram makes every node trade `rounds` messages with every
+// neighbor — the densest uniform load the model admits, exercising
+// deliver, matching, and wake-up on every node every round. All sends
+// are staged up front (the per-edge FIFOs pipeline them at one per
+// round) and the program allocates only one match closure per node, so
+// measured allocations are the engine's, not the workload's.
+func exchangeProgram(rounds int) func(*Node) {
+	return func(nd *Node) {
+		match := MatchKind(benchKind)
+		for r := 0; r < rounds; r++ {
+			nd.SendAll(Message{Kind: benchKind, Tag: uint32(r)})
+		}
+		for i := rounds * nd.Degree(); i > 0; i-- {
+			nd.Recv(match)
+		}
+	}
+}
+
+// pingPongProgram keeps only nodes a and b active: they bounce a token
+// for the given number of hops while every other node exits
+// immediately. On large graphs this isolates the engine's per-round
+// overhead that is independent of traffic volume.
+func pingPongProgram(a, b graph.NodeID, hops int) func(*Node) {
+	return func(nd *Node) {
+		if nd.ID() != a && nd.ID() != b {
+			return
+		}
+		peer := b
+		if nd.ID() == b {
+			peer = a
+		}
+		p := nd.PortTo(peer)
+		match := MatchKind(benchKind)
+		for i := 0; i < hops; i++ {
+			if nd.ID() == a {
+				nd.Send(p, Message{Kind: benchKind})
+				nd.Recv(match)
+			} else {
+				nd.Recv(match)
+				nd.Send(p, Message{Kind: benchKind})
+			}
+		}
+	}
+}
+
+func benchRun(b *testing.B, g *graph.Graph, opts Options, program func(*Node)) {
+	b.Helper()
+	b.ReportAllocs()
+	var delivered int64
+	for i := 0; i < b.N; i++ {
+		stats, err := Run(g, opts, program)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = stats.Delivered
+	}
+	if delivered > 0 {
+		b.ReportMetric(float64(delivered)*float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+	}
+}
+
+// Graphs are built once per process: generator cost (especially the
+// configuration-model expander) must not pollute engine timings.
+var benchGraphs struct {
+	once      sync.Once
+	path      *graph.Graph
+	expander  *graph.Graph
+	community *graph.Graph
+}
+
+func benchSetup() {
+	benchGraphs.once.Do(func() {
+		benchGraphs.path = graph.Path(4096)
+		benchGraphs.expander = graph.RandomRegular(10_000, 8, 1)
+		benchGraphs.community = graph.PlantedCut(512, 512, 8, 0.02, 1)
+	})
+}
+
+func BenchmarkEnginePathExchange(b *testing.B) {
+	benchSetup()
+	benchRun(b, benchGraphs.path, Options{}, exchangeProgram(8))
+}
+
+func BenchmarkEngineExpanderExchange(b *testing.B) {
+	benchSetup()
+	benchRun(b, benchGraphs.expander, Options{}, exchangeProgram(8))
+}
+
+func BenchmarkEngineCommunityExchange(b *testing.B) {
+	benchSetup()
+	benchRun(b, benchGraphs.community, Options{}, exchangeProgram(8))
+}
+
+// BenchmarkEngineExpanderSparse: two nodes chatting on a 10k-node
+// expander. The old scheduler paid O(n) per round to find them; the
+// sender registry makes this proportional to actual traffic.
+func BenchmarkEngineExpanderSparse(b *testing.B) {
+	benchSetup()
+	g := benchGraphs.expander
+	peer := g.Adj(0)[0].Peer
+	benchRun(b, g, Options{}, pingPongProgram(0, peer, 256))
+}
+
+// BenchmarkEngineExpanderWorkers runs the dense exchange in worker-pool
+// mode, bounding concurrently runnable node programs by GOMAXPROCS.
+func BenchmarkEngineExpanderWorkers(b *testing.B) {
+	benchSetup()
+	benchRun(b, benchGraphs.expander, Options{Workers: runtime.GOMAXPROCS(0)}, exchangeProgram(8))
+}

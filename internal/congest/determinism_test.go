@@ -1,0 +1,226 @@
+package congest
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"distmincut/internal/graph"
+)
+
+// statsKey is the deterministic portion of Stats: every field except
+// Marks, whose intra-round interleaving is scheduling-dependent.
+type statsKey struct {
+	rounds                   int
+	sent, delivered, wakeups int64
+	leftover                 int64
+}
+
+func keyOf(s *Stats) statsKey {
+	return statsKey{s.Rounds, s.Sent, s.Delivered, s.Wakeups, s.Leftover}
+}
+
+// chatterProgram is a randomized, RNG-driven workload: every node sends
+// a random number of messages to each neighbor followed by an end
+// marker, and consumes traffic until every port delivered its marker.
+// It terminates under any scheduling and exercises Send, selective
+// Recv, Sleep, and the sender registry together.
+func chatterProgram(nd *Node) {
+	const (
+		kData  uint8 = 3
+		kClose uint8 = 4
+	)
+	reps := 1 + nd.Rand().Intn(4)
+	for i := 0; i < reps; i++ {
+		nd.SendAll(Message{Kind: kData, Tag: uint32(i), A: int64(nd.ID())})
+	}
+	if nd.Rand().Intn(2) == 0 {
+		nd.Sleep(1 + nd.Rand().Intn(3))
+	}
+	nd.SendAll(Message{Kind: kClose})
+	for markers := 0; markers < nd.Degree(); {
+		_, m := nd.Recv(MatchAny)
+		if m.Kind == kClose {
+			markers++
+		}
+	}
+}
+
+// determinismFamilies are the generator families the scheduler is
+// checked on: path (long diameter), expander (the paper's hard
+// instances), planted communities, and a dense clique.
+func determinismFamilies() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path":      graph.Path(64),
+		"expander":  graph.RandomRegular(64, 6, 11),
+		"community": graph.PlantedCut(24, 24, 4, 0.2, 11),
+		"complete":  graph.Complete(16),
+	}
+}
+
+// TestDeterminismAcrossModes: for the same seed, goroutine-per-node
+// mode and worker-pool mode (at several pool widths) must produce
+// bit-identical Stats on every generator family.
+func TestDeterminismAcrossModes(t *testing.T) {
+	for name, g := range determinismFamilies() {
+		t.Run(name, func(t *testing.T) {
+			var want statsKey
+			for i, workers := range []int{0, 0, 1, 2, runtime.GOMAXPROCS(0)} {
+				stats, err := Run(g, Options{Seed: 42, Workers: workers}, chatterProgram)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				got := keyOf(stats)
+				if i == 0 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("workers=%d stats diverged: got %+v, want %+v", workers, got, want)
+				}
+			}
+			if want.leftover != 0 {
+				t.Fatalf("workload left %d unconsumed messages", want.leftover)
+			}
+		})
+	}
+}
+
+// TestDeterminismAcrossSeeds: different seeds must actually change the
+// run (guards against the RNG being ignored), while each seed stays
+// self-consistent.
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	g := graph.RandomRegular(48, 4, 7)
+	a1, err := Run(g, Options{Seed: 1}, chatterProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Run(g, Options{Seed: 1}, chatterProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, Options{Seed: 2}, chatterProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyOf(a1) != keyOf(a2) {
+		t.Fatalf("same seed diverged: %v vs %v", a1, a2)
+	}
+	if a1.Sent == b.Sent && a1.Rounds == b.Rounds {
+		t.Fatalf("seeds 1 and 2 produced identical traffic (%v); RNG not applied", a1)
+	}
+}
+
+// Worker-pool mode must preserve every engine edge case, not just the
+// happy path.
+
+func TestWorkersPingPong(t *testing.T) {
+	g := graph.Path(2)
+	const k = 7
+	stats, err := Run(g, Options{Workers: 1}, func(nd *Node) {
+		for i := 0; i < k; i++ {
+			if nd.ID() == 0 {
+				nd.Send(0, Message{Kind: kindToken, A: int64(i)})
+				nd.RecvKindTag(kindToken, 0)
+			} else {
+				_, m := nd.RecvKindTag(kindToken, 0)
+				nd.Send(0, m)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 2*k {
+		t.Fatalf("rounds = %d, want %d", stats.Rounds, 2*k)
+	}
+}
+
+func TestWorkersPanicPropagation(t *testing.T) {
+	g := graph.Cycle(4)
+	_, err := Run(g, Options{Workers: 2}, func(nd *Node) {
+		if nd.ID() == 2 {
+			panic("boom")
+		}
+		nd.Recv(MatchKind(kindToken))
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Node != 2 {
+		t.Fatalf("err = %v, want PanicError from node 2", err)
+	}
+}
+
+func TestWorkersDeadlockDetection(t *testing.T) {
+	g := graph.Path(3)
+	_, err := Run(g, Options{Workers: 2}, func(nd *Node) {
+		nd.Recv(MatchKind(kindToken))
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestWorkersMaxRounds(t *testing.T) {
+	g := graph.Path(2)
+	_, err := Run(g, Options{MaxRounds: 10, Workers: 1}, func(nd *Node) {
+		for {
+			if nd.ID() == 0 {
+				nd.Send(0, Message{Kind: kindToken})
+				nd.RecvKindTag(kindToken, 0)
+			} else {
+				nd.RecvKindTag(kindToken, 0)
+				nd.Send(0, Message{Kind: kindToken})
+			}
+		}
+	})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestWorkersSleepFastForward(t *testing.T) {
+	g := graph.Path(3)
+	const target = 1000
+	stats, err := Run(g, Options{Workers: 2}, func(nd *Node) {
+		nd.Sleep(target)
+		if nd.Round() != target {
+			panic("woke at wrong round")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != target {
+		t.Fatalf("rounds = %d, want %d", stats.Rounds, target)
+	}
+}
+
+// TestWorkersBoundConcurrency: with Workers: 1 no two node programs may
+// ever execute simultaneously.
+func TestWorkersBoundConcurrency(t *testing.T) {
+	g := graph.Complete(8)
+	var cur, peak atomic.Int32
+	_, err := Run(g, Options{Workers: 1}, func(nd *Node) {
+		for r := 0; r < 3; r++ {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			nd.SendAll(Message{Kind: kindData, Tag: uint32(r)})
+			cur.Add(-1)
+			for i := 0; i < nd.Degree(); i++ {
+				nd.Recv(MatchKindTag(kindData, uint32(r)))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p != 1 {
+		t.Fatalf("observed %d concurrently running programs with Workers=1", p)
+	}
+}

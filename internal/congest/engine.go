@@ -4,9 +4,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime/debug"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -25,6 +23,13 @@ type Options struct {
 	// round instead of one message, i.e. a LOCAL-model network with
 	// unbounded bandwidth. Used only by the pipelining ablation (E9).
 	Unbounded bool
+	// Workers, when positive, bounds how many node programs execute
+	// concurrently: scheduled nodes are multiplexed over this many lane
+	// workers instead of all being made runnable at once, so huge
+	// graphs stop thrashing the Go scheduler with n simultaneously
+	// runnable goroutines. Zero (the default) wakes every scheduled
+	// node at once. Stats are identical in both modes for a given seed.
+	Workers int
 }
 
 // DefaultMaxRounds is the default safety cap on simulated rounds.
@@ -48,25 +53,72 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("congest: node %d panicked: %v", e.Node, e.Value)
 }
 
-// Engine drives one simulation. Create with Run; it is not reusable.
+// Engine drives one simulation with a round-synchronous scheduler.
+// Create with Run; it is not reusable.
+//
+// The scheduler's round loop allocates nothing in steady state: the
+// sender registry, receiver set, wake list, and park notifications all
+// live in reusable per-engine buffers, and message rings come from a
+// shared pool. Per round the coordinator (1) merges newly registered
+// senders, (2) delivers the head of every staged edge queue, stamping
+// receivers into an epoch-numbered generation array instead of a
+// per-round map, (3) computes the wake list from satisfied Recv
+// predicates and due sleepers, and (4) dispatches it — either waking
+// every node at once or funneling them through Options.Workers lanes.
 type Engine struct {
 	g     *graph.Graph
 	opts  Options
 	nodes []*Node
 
-	round      int
-	parked     chan *Node
-	outPending outPendingCounter
-	sent       atomic.Int64
-	delivered  int64
-	wakeups    int64
-	aborted    atomic.Bool
+	round     int
+	delivered int64
+	wakeups   int64
+	aborted   atomic.Bool
 
-	// revPort[u][p] is the port index at the peer for port p of node u,
-	// precomputed so delivery is O(1) per message.
-	revPort [][]int
+	// revPort[portOff[u]+p] is the port index at the peer for port p of
+	// node u, precomputed flat so delivery is O(1) per message with no
+	// per-node slice headers.
+	revPort []int32
+	portOff []int32
+
+	// Sender registry: nodes stage themselves exactly once on their
+	// first Send after being drained (guarded by Node.outDirty), so
+	// delivery touches only nodes with traffic instead of scanning all
+	// n every round. newSenders is written lock-free by node goroutines
+	// via the newCount cursor; the coordinator merges it into senders
+	// between rounds.
+	senders    []*Node
+	newSenders []*Node
+	newCount   atomic.Int32
+
+	// Receiver set: recvGen[v] == curGen marks v as already collected
+	// this round — an epoch-numbered flat array in place of a per-round
+	// map, with receivers as the reusable collection order.
+	recvGen   []uint32
+	curGen    uint32
+	receivers []*Node
+	wake      []*Node
+
+	// Park barrier: every dispatched node ends its activation in
+	// notifyPark. Direct mode counts activations down in running and
+	// signals roundDone at zero; worker mode signals per-node park
+	// channels so lane workers can chain to the next node. Nodes that
+	// parked in Sleep or exited are queued on notified for the
+	// coordinator (Recv parks need no attention).
+	running   atomic.Int32
+	roundDone chan struct{}
+	notifyMu  sync.Mutex
+	notified  []*Node
+
+	// Worker-pool mode state (Options.Workers > 0).
+	workers    int
+	workCh     chan struct{}
+	curWake    []*Node
+	wakeIdx    atomic.Int32
+	workerBusy atomic.Int32
 
 	sleepers sleepHeap
+	termWG   sync.WaitGroup
 
 	marksMu sync.Mutex
 	marks   []Mark
@@ -82,186 +134,285 @@ func Run(g *graph.Graph, opts Options, program func(*Node)) (*Stats, error) {
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = DefaultMaxRounds
 	}
+	if opts.Workers < 0 {
+		opts.Workers = 0
+	}
 	n := g.N()
 	e := &Engine{
-		g:      g,
-		opts:   opts,
-		nodes:  make([]*Node, n),
-		parked: make(chan *Node, n),
+		g:          g,
+		opts:       opts,
+		nodes:      make([]*Node, n),
+		newSenders: make([]*Node, n),
+		recvGen:    make([]uint32, n),
+		roundDone:  make(chan struct{}, 1),
+		workers:    opts.Workers,
 	}
 	e.buildRevPorts()
+	// All per-node queues share two slab allocations; Node structs share
+	// one more. Only the wake (and, in worker mode, park) channels are
+	// allocated per node.
+	nodeSlab := make([]Node, n)
+	qSlab := make([]queue, 2*len(e.revPort))
 	for i := 0; i < n; i++ {
 		adj := g.Adj(graph.NodeID(i))
-		e.nodes[i] = &Node{
+		off := int(e.portOff[i])
+		nd := &nodeSlab[i]
+		*nd = Node{
 			id:     graph.NodeID(i),
 			eng:    e,
 			adj:    adj,
-			rng:    rand.New(rand.NewSource(opts.Seed*1_000_003 + int64(i))),
-			outQ:   make([]queue, len(adj)),
-			inQ:    make([]queue, len(adj)),
+			outQ:   qSlab[2*off : 2*off+len(adj)],
+			inQ:    qSlab[2*off+len(adj) : 2*off+2*len(adj)],
 			wakeCh: make(chan struct{}, 1),
 			phase:  phaseRunning,
 		}
+		if e.workers > 0 {
+			nd.parkCh = make(chan struct{}, 1)
+		}
+		e.nodes[i] = nd
 	}
-	var wg sync.WaitGroup
-	wg.Add(n)
+	if e.workers > 0 {
+		e.workCh = make(chan struct{}, e.workers)
+		for i := 0; i < e.workers; i++ {
+			go e.workerLoop()
+		}
+	}
+	e.termWG.Add(n)
 	for _, nd := range e.nodes {
-		go func(nd *Node) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil && r != errAborted {
-					nd.panicVal = &PanicError{Node: nd.id, Value: r, Stack: string(debug.Stack())}
-				}
-				nd.phase = phaseDone
-				e.parked <- nd
-			}()
-			program(nd)
-		}(nd)
+		go e.nodeMain(nd, program)
 	}
 	stats, err := e.coordinate()
-	wg.Wait()
+	e.termWG.Wait()
+	if e.workCh != nil {
+		close(e.workCh)
+	}
 	return stats, err
+}
+
+// nodeMain hosts one node program. The goroutine blocks until the
+// scheduler dispatches its initial activation, so worker-pool mode
+// bounds concurrency from the very first instruction.
+func (e *Engine) nodeMain(nd *Node, program func(*Node)) {
+	defer e.termWG.Done()
+	defer func() {
+		if r := recover(); r != nil && r != errAborted {
+			nd.panicVal = &PanicError{Node: nd.id, Value: r, Stack: string(debug.Stack())}
+		}
+		nd.phase = phaseDone
+		e.notifyPark(nd)
+	}()
+	<-nd.wakeCh
+	if e.aborted.Load() {
+		panic(errAborted)
+	}
+	program(nd)
 }
 
 func (e *Engine) buildRevPorts() {
 	n := e.g.N()
-	e.revPort = make([][]int, n)
+	e.portOff = make([]int32, n+1)
 	for u := 0; u < n; u++ {
-		adj := e.g.Adj(graph.NodeID(u))
-		e.revPort[u] = make([]int, len(adj))
-		for p, h := range adj {
-			e.revPort[u][p] = e.g.PortOf(h.Peer, h.EdgeID)
+		e.portOff[u+1] = e.portOff[u] + int32(len(e.g.Adj(graph.NodeID(u))))
+	}
+	e.revPort = make([]int32, e.portOff[n])
+	for u := 0; u < n; u++ {
+		off := e.portOff[u]
+		for p, h := range e.g.Adj(graph.NodeID(u)) {
+			e.revPort[off+int32(p)] = int32(e.g.PortOf(h.Peer, h.EdgeID))
+		}
+	}
+}
+
+// addSender registers nd in the sender set; called by node goroutines
+// on the first Send after being drained.
+func (e *Engine) addSender(nd *Node) {
+	e.newSenders[e.newCount.Add(1)-1] = nd
+}
+
+// notifyPark ends a node activation. Called from node goroutines.
+func (e *Engine) notifyPark(nd *Node) {
+	if e.aborted.Load() {
+		return // teardown: the coordinator only waits on termWG now
+	}
+	if nd.phase != phaseRecv {
+		e.notifyMu.Lock()
+		e.notified = append(e.notified, nd)
+		e.notifyMu.Unlock()
+	}
+	if nd.parkCh != nil {
+		nd.parkCh <- struct{}{}
+	} else if e.running.Add(-1) == 0 {
+		e.roundDone <- struct{}{}
+	}
+}
+
+// dispatch runs one activation of every node in wake and returns when
+// all of them have parked or exited.
+func (e *Engine) dispatch(wake []*Node) {
+	if len(wake) == 0 {
+		return
+	}
+	if e.workers > 0 {
+		e.curWake = wake
+		e.wakeIdx.Store(0)
+		w := e.workers
+		if w > len(wake) {
+			w = len(wake)
+		}
+		e.workerBusy.Store(int32(w))
+		for i := 0; i < w; i++ {
+			e.workCh <- struct{}{}
+		}
+	} else {
+		e.running.Store(int32(len(wake)))
+		for _, nd := range wake {
+			nd.phase = phaseRunning
+			nd.wakeCh <- struct{}{}
+		}
+	}
+	<-e.roundDone
+}
+
+// workerLoop is one lane of the worker pool: it claims scheduled nodes
+// off the shared wake cursor and runs each to its next park before
+// taking another, so at most Options.Workers node programs are runnable
+// at any instant.
+func (e *Engine) workerLoop() {
+	for range e.workCh {
+		for {
+			i := int(e.wakeIdx.Add(1)) - 1
+			if i >= len(e.curWake) {
+				break
+			}
+			nd := e.curWake[i]
+			nd.phase = phaseRunning
+			nd.wakeCh <- struct{}{}
+			<-nd.parkCh
+		}
+		if e.workerBusy.Add(-1) == 0 {
+			e.roundDone <- struct{}{}
 		}
 	}
 }
 
 // coordinate is the engine main loop; it runs on the caller goroutine.
 func (e *Engine) coordinate() (*Stats, error) {
-	running := len(e.nodes)
+	n := len(e.nodes)
 	done := 0
 	var firstPanic error
 
-	waitAllParked := func() {
-		for running > 0 {
-			nd := <-e.parked
-			running--
+	// Initial activation: every node starts (not counted in Wakeups,
+	// matching the historical accounting of the engine).
+	e.wake = append(e.wake[:0], e.nodes...)
+	for {
+		e.dispatch(e.wake)
+		for _, nd := range e.notified {
 			if nd.phase == phaseDone {
 				done++
 				if pe, ok := nd.panicVal.(*PanicError); ok && firstPanic == nil {
 					firstPanic = pe
 				}
-			} else if nd.phase == phaseSleep {
+			} else { // phaseSleep
 				heap.Push(&e.sleepers, sleepEntry{at: nd.wakeAt, gen: nd.parkGen, nd: nd})
 			}
 		}
-	}
-
-	abort := func(cause error) (*Stats, error) {
-		e.aborted.Store(true)
-		// Wake every parked non-done node so its goroutine unwinds.
-		for _, nd := range e.nodes {
-			if nd.phase == phaseRecv || nd.phase == phaseSleep {
-				running++
-				nd.wakeCh <- struct{}{}
-			}
-		}
-		waitAllParked()
-		return e.stats(), cause
-	}
-
-	for {
-		waitAllParked()
+		e.notified = e.notified[:0]
 		if firstPanic != nil {
-			return abort(firstPanic)
+			return e.abort(firstPanic)
 		}
-		pending := e.outPending.Load()
-		if done == len(e.nodes) && pending == 0 {
+		e.mergeSenders()
+		if done == n && len(e.senders) == 0 {
 			return e.stats(), nil
 		}
 		// Decide the next round: the immediate next one if traffic is in
 		// flight, otherwise fast-forward to the earliest sleep deadline.
-		if pending > 0 {
+		if len(e.senders) > 0 {
 			e.round++
 		} else {
 			e.purgeStaleSleepers()
 			if e.sleepers.Len() == 0 {
-				return abort(e.deadlockError(done))
+				return e.abort(e.deadlockError(done))
 			}
 			e.round = e.sleepers[0].at
 		}
 		if e.round > e.opts.MaxRounds {
-			return abort(fmt.Errorf("%w (%d)", ErrMaxRounds, e.opts.MaxRounds))
+			return e.abort(fmt.Errorf("%w (%d)", ErrMaxRounds, e.opts.MaxRounds))
 		}
-		receivers := e.deliver()
-		wake := e.wakeSet(receivers)
-		running = len(wake)
-		e.wakeups += int64(running)
-		for _, nd := range wake {
-			nd.phase = phaseRunning
-			nd.wakeCh <- struct{}{}
-		}
+		e.deliver()
+		e.buildWakeSet()
+		e.wakeups += int64(len(e.wake))
 	}
 }
 
+// mergeSenders folds nodes registered during the last activations into
+// the coordinator's sender set.
+func (e *Engine) mergeSenders() {
+	k := int(e.newCount.Swap(0))
+	e.senders = append(e.senders, e.newSenders[:k]...)
+}
+
 // deliver transmits the head (or, in Unbounded mode, the entirety) of
-// every non-empty send queue and returns the set of nodes that received
-// at least one message, in ascending ID order.
-func (e *Engine) deliver() []*Node {
-	var receivers []*Node
-	seen := make(map[graph.NodeID]bool)
-	for _, nd := range e.nodes {
-		if nd.nonEmptyOut == 0 {
-			continue
-		}
+// every staged edge queue, collects the receiver set, and compacts the
+// sender set in place. Only nodes with traffic are touched; the
+// resulting message state is independent of sender order because each
+// (sender, port) pair feeds its own per-port FIFO at the peer.
+func (e *Engine) deliver() {
+	e.curGen++
+	e.receivers = e.receivers[:0]
+	kept := e.senders[:0]
+	for _, nd := range e.senders {
+		off := e.portOff[nd.id]
 		for p := range nd.outQ {
 			q := &nd.outQ[p]
-			if q.len() == 0 {
+			if q.n == 0 {
 				continue
 			}
 			k := 1
 			if e.opts.Unbounded {
-				k = q.len()
+				k = q.n
 			}
 			peer := e.nodes[nd.adj[p].Peer]
-			rp := e.revPort[nd.id][p]
+			inq := &peer.inQ[e.revPort[off+int32(p)]]
 			for i := 0; i < k; i++ {
-				m, _ := q.pop()
-				peer.inQ[rp].push(m)
-				e.delivered++
+				m, _ := q.pop(&msgBufPool)
+				inq.push(&msgBufPool, m)
 			}
-			if q.len() == 0 {
+			e.delivered += int64(k)
+			if q.n == 0 {
 				nd.nonEmptyOut--
-				e.outPending.Add(-1)
 			}
-			if !seen[peer.id] {
-				seen[peer.id] = true
-				receivers = append(receivers, peer)
+			if e.recvGen[peer.id] != e.curGen {
+				e.recvGen[peer.id] = e.curGen
+				e.receivers = append(e.receivers, peer)
 			}
 		}
+		if nd.nonEmptyOut > 0 {
+			kept = append(kept, nd)
+		} else {
+			nd.outDirty = false
+		}
 	}
-	sort.Slice(receivers, func(i, j int) bool { return receivers[i].id < receivers[j].id })
-	return receivers
+	e.senders = kept
 }
 
-// wakeSet returns receivers whose Recv predicate is now satisfied plus
-// sleepers whose deadline has passed.
-func (e *Engine) wakeSet(receivers []*Node) []*Node {
-	var wake []*Node
-	for _, nd := range receivers {
+// buildWakeSet fills e.wake with receivers whose Recv predicate is now
+// satisfied plus sleepers whose deadline has passed.
+func (e *Engine) buildWakeSet() {
+	e.wake = e.wake[:0]
+	for _, nd := range e.receivers {
 		if nd.phase != phaseRecv {
 			continue // running sleeper accounting separately; done nodes keep leftovers
 		}
 		if e.matches(nd) {
-			wake = append(wake, nd)
+			e.wake = append(e.wake, nd)
 		}
 	}
 	for e.sleepers.Len() > 0 && e.sleepers[0].at <= e.round {
 		entry := heap.Pop(&e.sleepers).(sleepEntry)
 		if entry.live() {
-			wake = append(wake, entry.nd)
+			e.wake = append(e.wake, entry.nd)
 		}
 	}
-	return wake
 }
 
 // purgeStaleSleepers drops heap entries whose node has since been woken
@@ -282,6 +433,21 @@ func (e *Engine) matches(nd *Node) bool {
 		}
 	}
 	return false
+}
+
+// abort wakes every parked node so its goroutine unwinds via the
+// errAborted panic, waits for all of them to exit, and returns stats
+// with the causing error. It must only be called from coordinate, i.e.
+// while every node is parked.
+func (e *Engine) abort(cause error) (*Stats, error) {
+	e.aborted.Store(true)
+	for _, nd := range e.nodes {
+		if nd.phase == phaseRecv || nd.phase == phaseSleep {
+			nd.wakeCh <- struct{}{}
+		}
+	}
+	e.termWG.Wait()
+	return e.stats(), cause
 }
 
 func (e *Engine) deadlockError(done int) error {
@@ -305,13 +471,14 @@ func (e *Engine) mark(label string, id graph.NodeID) {
 }
 
 func (e *Engine) stats() *Stats {
-	var leftover int64
+	var sent, leftover int64
 	for _, nd := range e.nodes {
+		sent += nd.sent
 		leftover += nd.leftover()
 	}
 	return &Stats{
 		Rounds:    e.round,
-		Sent:      e.sent.Load(),
+		Sent:      sent,
 		Delivered: e.delivered,
 		Wakeups:   e.wakeups,
 		Leftover:  leftover,

@@ -289,6 +289,7 @@ func TestMarkPhases(t *testing.T) {
 func TestQueueProperty(t *testing.T) {
 	f := func(ops []uint8) bool {
 		var q queue
+		var pool bufPool
 		var model []Message
 		next := int64(0)
 		for _, op := range ops {
@@ -296,10 +297,10 @@ func TestQueueProperty(t *testing.T) {
 			case 0:
 				m := Message{A: next}
 				next++
-				q.push(m)
+				q.push(&pool, m)
 				model = append(model, m)
 			case 1:
-				gm, gok := q.pop()
+				gm, gok := q.pop(&pool)
 				if len(model) == 0 {
 					if gok {
 						return false
@@ -316,7 +317,7 @@ func TestQueueProperty(t *testing.T) {
 					continue
 				}
 				i := int(op) % q.len()
-				gm := q.removeAt(i)
+				gm := q.removeAt(&pool, i)
 				wm := model[i]
 				model = append(model[:i], model[i+1:]...)
 				if gm != wm {

@@ -1,27 +1,43 @@
 // Package congest simulates the synchronous CONGEST message-passing
-// model [Pel00]: n nodes with unique IDs, one goroutine per node,
-// communication in synchronous rounds where each node may send one
-// O(log n)-bit message per incident edge per round.
+// model [Pel00]: n nodes with unique IDs, communication in synchronous
+// rounds where each node may send one O(log n)-bit message per incident
+// edge per round.
 //
 // # Execution model
 //
 // Node programs are ordinary blocking Go code. A node stages outgoing
 // messages with Send (one per-port FIFO each; the runtime transmits the
-// head of each FIFO every round, so multi-message transfers are
+// head of every FIFO each round, so multi-message transfers are
 // automatically pipelined and pay their true round cost), then blocks in
-// Recv or Sleep. A coordinator advances the global round only when every
-// node is parked, delivers the head of every non-empty edge queue,
-// and wakes exactly the nodes whose receive predicate is now satisfied
-// or whose sleep deadline passed. Rounds with no traffic and no due
-// wake-ups are fast-forwarded, so simulation cost is proportional to
-// message count, not n x rounds.
+// Recv or Sleep. A round-synchronous scheduler advances the global round
+// only when every node is parked, delivers the head of every staged edge
+// queue, and wakes exactly the nodes whose receive predicate is now
+// satisfied or whose sleep deadline passed. Rounds with no traffic and
+// no due wake-ups are fast-forwarded, and delivery walks a registry of
+// nodes with staged traffic rather than all n nodes, so simulation cost
+// is proportional to messages moved plus nodes woken — not n x rounds.
+//
+// The scheduler's round loop reuses per-engine scratch buffers (an
+// epoch-stamped receiver array, a wake list, a sender registry) and
+// pools message ring buffers, so steady-state simulation does not
+// allocate. Each node program runs on its own goroutine (it holds the
+// program's stack between rounds); with Options.Workers > 0, wake-ups
+// are funneled through that many lane workers so only Workers programs
+// are runnable at once, which keeps very large graphs from thrashing
+// the Go scheduler.
 //
 // # Determinism
 //
 // Woken goroutines run concurrently but touch only their own node
 // state; message delivery and round advancement happen while all nodes
-// are parked. Per-node RNGs are seeded from Options.Seed and the node
-// ID. Two runs with the same graph, options, and program are identical.
+// are parked, and each (sender, port) pair feeds its own per-port FIFO
+// at the receiver, so queue contents are independent of delivery
+// iteration order. Per-node RNGs are seeded from Options.Seed and the
+// node ID. Two runs with the same graph, options, and program produce
+// identical Stats (rounds, sent, delivered, wakeups, leftover) — and so
+// do runs that differ only in Options.Workers. The one scheduling-
+// dependent quantity is the interleaving of Marks recorded by different
+// nodes within the same round.
 //
 // # Model fidelity
 //

@@ -3,7 +3,6 @@ package congest
 import (
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 
 	"distmincut/internal/graph"
 )
@@ -23,7 +22,7 @@ type Node struct {
 	id  graph.NodeID
 	eng *Engine
 	adj []graph.Half
-	rng *rand.Rand
+	rng *rand.Rand // created lazily on first Rand call
 
 	outQ []queue // staged sends, one FIFO per port; head transmitted each round
 	inQ  []queue // received but not yet consumed, one FIFO per port
@@ -33,9 +32,12 @@ type Node struct {
 	wakeAt   int       // valid while phase == phaseSleep
 	parkGen  int       // incremented on every park; invalidates stale sleeper heap entries
 	wakeCh   chan struct{}
+	parkCh   chan struct{} // worker mode only: signals this node's lane worker
 	panicVal any
 
-	nonEmptyOut int // number of ports with staged messages (node-local view)
+	nonEmptyOut int   // number of ports with staged messages (node-local view)
+	outDirty    bool  // registered in the engine's sender set
+	sent        int64 // messages staged by this node (summed into Stats.Sent)
 }
 
 // ID returns this node's unique identifier.
@@ -67,8 +69,15 @@ func (nd *Node) PortTo(v graph.NodeID) int {
 	return -1
 }
 
-// Rand returns this node's private deterministic RNG.
-func (nd *Node) Rand() *rand.Rand { return nd.rng }
+// Rand returns this node's private deterministic RNG. It is seeded from
+// Options.Seed and the node ID on first use, so programs that never
+// draw randomness pay nothing for it.
+func (nd *Node) Rand() *rand.Rand {
+	if nd.rng == nil {
+		nd.rng = rand.New(rand.NewSource(nd.eng.opts.Seed*1_000_003 + int64(nd.id)))
+	}
+	return nd.rng
+}
 
 // Round returns the current global round number.
 func (nd *Node) Round() int { return nd.eng.round }
@@ -82,12 +91,15 @@ func (nd *Node) Send(p int, m Message) {
 	if p < 0 || p >= len(nd.adj) {
 		panic(fmt.Sprintf("congest: node %d Send on invalid port %d (degree %d)", nd.id, p, len(nd.adj)))
 	}
+	if !nd.outDirty {
+		nd.outDirty = true
+		nd.eng.addSender(nd)
+	}
 	if nd.outQ[p].len() == 0 {
 		nd.nonEmptyOut++
-		nd.eng.outPending.Add(1)
 	}
-	nd.outQ[p].push(m)
-	nd.eng.sent.Add(1)
+	nd.outQ[p].push(&msgBufPool, m)
+	nd.sent++
 }
 
 // SendAll stages the same message on every port.
@@ -104,7 +116,7 @@ func (nd *Node) TryRecv(match MatchFunc) (int, Message, bool) {
 		q := &nd.inQ[p]
 		for i := 0; i < q.len(); i++ {
 			if match(p, q.at(i)) {
-				return p, q.removeAt(i), true
+				return p, q.removeAt(&msgBufPool, i), true
 			}
 		}
 	}
@@ -148,11 +160,11 @@ func (nd *Node) Mark(label string) {
 	nd.eng.mark(label, nd.id)
 }
 
-// park hands control back to the coordinator and blocks until woken.
+// park hands control back to the scheduler and blocks until woken.
 func (nd *Node) park(ph nodePhase) {
 	nd.parkGen++
 	nd.phase = ph
-	nd.eng.parked <- nd
+	nd.eng.notifyPark(nd)
 	<-nd.wakeCh
 	if nd.eng.aborted.Load() {
 		panic(errAborted)
@@ -176,10 +188,3 @@ var errAborted = &abortSentinel{}
 type abortSentinel struct{}
 
 func (*abortSentinel) Error() string { return "congest: run aborted" }
-
-// outPendingCounter is a tiny wrapper so Engine can embed an atomic
-// counter without exposing sync/atomic in its API surface.
-type outPendingCounter struct{ v atomic.Int64 }
-
-func (c *outPendingCounter) Add(d int64) { c.v.Add(d) }
-func (c *outPendingCounter) Load() int64 { return c.v.Load() }

@@ -147,39 +147,85 @@ func connect(g *Graph, rng *rand.Rand) {
 }
 
 // RandomRegular returns a d-regular graph on n nodes via the
-// configuration model with restarts (pairing stubs, rejecting loops and
-// duplicates). n*d must be even and d < n.
+// configuration model: stubs are paired uniformly, then loops and
+// duplicate pairs are repaired with double-edge swaps against randomly
+// chosen accepted pairs (restarting the whole pairing only if a repair
+// fails). This converges for large n*d where reject-and-restart never
+// would. n*d must be even and d < n.
 func RandomRegular(n, d int, seed int64) *Graph {
 	if n*d%2 != 0 || d >= n || d < 1 {
 		panic(fmt.Sprintf("graph: RandomRegular(%d,%d) infeasible", n, d))
 	}
 	rng := rand.New(rand.NewSource(seed))
-	for attempt := 0; ; attempt++ {
-		if attempt > 1000 {
-			panic("graph: RandomRegular failed to converge")
+	key := func(u, v NodeID) int64 {
+		if u > v {
+			u, v = v, u
 		}
-		stubs := make([]NodeID, 0, n*d)
-		for u := 0; u < n; u++ {
-			for i := 0; i < d; i++ {
-				stubs = append(stubs, NodeID(u))
-			}
+		return int64(u)*int64(n) + int64(v)
+	}
+	stubs := make([]NodeID, 0, n*d)
+	for u := 0; u < n; u++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, NodeID(u))
 		}
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
 		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
-		g := New(n)
-		ok := true
+		edges := make(map[int64]int, n*d/2) // key -> index into pairs
+		pairs := make([][2]NodeID, 0, n*d/2)
+		var bad [][2]NodeID
 		for i := 0; i < len(stubs); i += 2 {
 			u, v := stubs[i], stubs[i+1]
-			if u == v || g.HasEdge(u, v) {
+			if _, dup := edges[key(u, v)]; u == v || dup {
+				bad = append(bad, [2]NodeID{u, v})
+				continue
+			}
+			edges[key(u, v)] = len(pairs)
+			pairs = append(pairs, [2]NodeID{u, v})
+		}
+		if len(pairs) == 0 && len(bad) > 0 {
+			continue // nothing to swap against (e.g. tiny n); re-shuffle
+		}
+		ok := true
+		for _, p := range bad {
+			// Swap the rejected stub pair (u,v) with an accepted pair
+			// (x,y): replace edge {x,y} by {u,x} and {v,y}. Degrees are
+			// preserved and the rejected stubs get consumed.
+			u, v := p[0], p[1]
+			repaired := false
+			for try := 0; try < 500 && !repaired; try++ {
+				j := rng.Intn(len(pairs))
+				x, y := pairs[j][0], pairs[j][1]
+				_, dupUX := edges[key(u, x)]
+				_, dupVY := edges[key(v, y)]
+				if u == x || v == y || dupUX || dupVY || key(u, x) == key(v, y) {
+					continue
+				}
+				delete(edges, key(x, y))
+				pairs[j] = [2]NodeID{u, x}
+				edges[key(u, x)] = j
+				edges[key(v, y)] = len(pairs)
+				pairs = append(pairs, [2]NodeID{v, y})
+				repaired = true
+			}
+			if !repaired {
 				ok = false
 				break
 			}
-			g.MustAddEdge(u, v, 1)
 		}
-		if ok && IsConnected(g) {
+		if !ok {
+			continue
+		}
+		g := New(n)
+		for _, p := range pairs {
+			g.MustAddEdge(p[0], p[1], 1)
+		}
+		if IsConnected(g) {
 			g.SortAdjacency()
 			return g
 		}
 	}
+	panic("graph: RandomRegular failed to converge")
 }
 
 // PlantedCut returns a graph with two dense clusters of sizes n1 and n2

@@ -103,6 +103,32 @@ func TestRandomRegularDegrees(t *testing.T) {
 	}
 }
 
+// TestRandomRegularSmallAndLarge: the double-edge-swap repair must
+// handle degenerate shuffles on tiny graphs (where a pairing can
+// consist entirely of self-loops, leaving nothing to swap against) and
+// converge on sizes where reject-and-restart never would.
+func TestRandomRegularSmallAndLarge(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		for _, c := range []struct{ n, d int }{{3, 2}, {4, 2}, {4, 3}, {6, 3}} {
+			g := RandomRegular(c.n, c.d, seed)
+			for u := 0; u < g.N(); u++ {
+				if g.Degree(NodeID(u)) != c.d {
+					t.Fatalf("n=%d d=%d seed=%d: node %d degree %d", c.n, c.d, seed, u, g.Degree(NodeID(u)))
+				}
+			}
+		}
+	}
+	g := RandomRegular(5000, 8, 1)
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(NodeID(u)) != 8 {
+			t.Fatalf("node %d degree %d, want 8", u, g.Degree(NodeID(u)))
+		}
+	}
+	if !IsConnected(g) {
+		t.Fatal("large RandomRegular disconnected")
+	}
+}
+
 func TestPlantedCutCrossEdges(t *testing.T) {
 	for _, k := range []int{1, 2, 3, 5} {
 		g := PlantedCut(20, 25, k, 0.3, int64(k))

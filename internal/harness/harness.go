@@ -53,6 +53,10 @@ type Config struct {
 	Quick bool
 	// Seed drives every randomized workload and protocol.
 	Seed int64
+	// Workers bounds how many node programs the CONGEST runtime
+	// executes concurrently (congest.Options.Workers). Zero wakes every
+	// scheduled node at once; results are identical either way.
+	Workers int
 }
 
 func (c Config) seed() int64 {
@@ -80,11 +84,11 @@ func RunAll(cfg Config) []*Table {
 // pipelineOnce runs BFS + distributed MST + Theorem 2.1 once and
 // returns the run stats, the best 1-respecting cut, and the per-node
 // parents (for oracle verification).
-func pipelineOnce(g *graph.Graph, seed int64) (*congest.Stats, int64, []graph.NodeID, error) {
+func pipelineOnce(g *graph.Graph, seed int64, workers int) (*congest.Stats, int64, []graph.NodeID, error) {
 	var mu sync.Mutex
 	parents := make([]graph.NodeID, g.N())
 	var best int64
-	stats, err := congest.Run(g, congest.Options{Seed: seed}, func(nd *congest.Node) {
+	stats, err := congest.Run(g, congest.Options{Seed: seed, Workers: workers}, func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		res := mst.Run(nd, bfs, nil, 0, 100)
 		out := respect.Run(nd, respect.FromMST(res, bfs), 100+mst.TagSpan)
@@ -105,9 +109,9 @@ func pipelineOnce(g *graph.Graph, seed int64) (*congest.Stats, int64, []graph.No
 
 // runPipelineCollect runs the Theorem 2.1 pipeline and hands every
 // node's C(v↓) to fn (called under a lock).
-func runPipelineCollect(g *graph.Graph, seed int64, fn func(v graph.NodeID, cut int64)) error {
+func runPipelineCollect(g *graph.Graph, seed int64, workers int, fn func(v graph.NodeID, cut int64)) error {
 	var mu sync.Mutex
-	_, err := congest.Run(g, congest.Options{Seed: seed}, func(nd *congest.Node) {
+	_, err := congest.Run(g, congest.Options{Seed: seed, Workers: workers}, func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		res := mst.Run(nd, bfs, nil, 0, 100)
 		out := respect.Run(nd, respect.FromMST(res, bfs), 100+mst.TagSpan)
