@@ -2,16 +2,23 @@
 // machine-readable JSON document on stdout, used by `make bench` and CI
 // to publish BENCH_engine.json as the perf trajectory artifact.
 //
+// It also implements the CI perf-regression gate: -compare checks a new
+// report against a committed baseline and exits non-zero when ns/op or
+// allocs/op worsened beyond the threshold on the gated benchmarks.
+//
 // Usage:
 //
 //	go test ./internal/congest -bench BenchmarkEngine -benchmem | benchjson > BENCH_engine.json
+//	benchjson -compare BENCH_engine.json new.json [-threshold 0.20] [-match BenchmarkEngineExpander]
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -35,6 +42,13 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two report files (old new) instead of converting stdin")
+	threshold := flag.Float64("threshold", 0.20, "relative regression tolerated by -compare (0.20 = 20%)")
+	match := flag.String("match", "BenchmarkEngineExpander", "regexp of benchmark names gated by -compare")
+	flag.Parse()
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *threshold, *match))
+	}
 	os.Exit(run(os.Stdin, os.Stdout))
 }
 
@@ -62,6 +76,7 @@ func run(in *os.File, out *os.File) int {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 1
 	}
+	rep.Benchmarks = dedupeBest(rep.Benchmarks)
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		return 1
@@ -93,4 +108,115 @@ func parseLine(line string) (Benchmark, bool) {
 		b.Metrics[f[i+1]] = v
 	}
 	return b, true
+}
+
+// dedupeBest collapses repeated lines for the same benchmark (`go test
+// -count N`) into the run with the lowest ns/op. The minimum is the
+// standard estimator on machines with noisy co-tenants: external
+// interference only ever slows a run down, so the fastest observation
+// is the closest to the code's true cost.
+func dedupeBest(benchmarks []Benchmark) []Benchmark {
+	best := map[string]int{}
+	var out []Benchmark
+	for _, b := range benchmarks {
+		i, seen := best[b.Name]
+		if !seen {
+			best[b.Name] = len(out)
+			out = append(out, b)
+			continue
+		}
+		if b.Metrics["ns/op"] < out[i].Metrics["ns/op"] {
+			out[i] = b
+		}
+	}
+	return out
+}
+
+// gatedMetrics are the metrics -compare enforces: lower is better for
+// both, and allocs/op is noise-free so any budget works there.
+var gatedMetrics = []string{"ns/op", "allocs/op"}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// runCompare exits 0 when every gated benchmark present in both reports
+// stays within threshold on every gated metric, 1 on regression, 2 on
+// usage or I/O errors. Benchmarks present on only one side are reported
+// but never fail the gate (they are new or retired workloads).
+func runCompare(args []string, threshold float64, match string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare wants exactly two arguments: old.json new.json")
+		return 2
+	}
+	re, err := regexp.Compile(match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: bad -match:", err)
+		return 2
+	}
+	oldRep, err := loadReport(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := loadReport(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	failed := false
+	compared := 0
+	for _, nb := range newRep.Benchmarks {
+		if !re.MatchString(nb.Name) {
+			continue
+		}
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-44s new benchmark, not gated\n", nb.Name)
+			continue
+		}
+		delete(oldBy, nb.Name)
+		compared++
+		for _, metric := range gatedMetrics {
+			ov, nv := ob.Metrics[metric], nb.Metrics[metric]
+			if ov <= 0 {
+				continue
+			}
+			ratio := nv/ov - 1
+			status := "ok"
+			if ratio > threshold {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-44s %-10s %14.1f -> %14.1f  %+6.1f%%  %s\n",
+				nb.Name, metric, ov, nv, 100*ratio, status)
+		}
+	}
+	for name := range oldBy {
+		if re.MatchString(name) {
+			fmt.Printf("%-44s missing from new report, not gated\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched %q in both reports\n", match)
+		return 2
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: performance regression beyond %.0f%% threshold\n", 100*threshold)
+		return 1
+	}
+	fmt.Printf("benchjson: %d benchmark(s) within %.0f%% of baseline\n", compared, 100*threshold)
+	return 0
 }

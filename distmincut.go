@@ -68,6 +68,11 @@ type Options struct {
 	// concurrently (see congest.Options.Workers). Zero wakes every
 	// scheduled node at once. Results are identical either way.
 	Workers int
+	// DeliveryShards partitions the runtime's message-delivery phase
+	// over this many worker goroutines (see
+	// congest.Options.DeliveryShards). Zero delivers serially. Results
+	// are identical either way.
+	DeliveryShards int
 }
 
 func (o *Options) withDefaults() Options {
@@ -158,7 +163,7 @@ func MinCut(g *graph.Graph, opts *Options) (*Result, error) {
 	o := opts.withDefaults()
 	col := &collector{sides: make([]bool, g.N()), packs: make([]*packing.Result, g.N())}
 	exactAll := true
-	stats, err := congest.Run(g, congest.Options{Seed: o.Seed, Unbounded: o.Unbounded, MaxRounds: o.MaxRounds, Workers: o.Workers}, func(nd *congest.Node) {
+	stats, err := congest.Run(g, congest.Options{Seed: o.Seed, Unbounded: o.Unbounded, MaxRounds: o.MaxRounds, Workers: o.Workers, DeliveryShards: o.DeliveryShards}, func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		res, exact := packing.ExactDoubling(nd, bfs, o.TauPolicy, o.MaxLambda,
 			packing.Options{SizeCap: o.SizeCap}, 1000)
@@ -201,7 +206,7 @@ func OneRespectingCut(g *graph.Graph, opts *Options) (*Result, []int64, error) {
 	o := opts.withDefaults()
 	col := &collector{sides: make([]bool, g.N()), packs: make([]*packing.Result, g.N())}
 	perNode := make([]int64, g.N())
-	stats, err := congest.Run(g, congest.Options{Seed: o.Seed, Unbounded: o.Unbounded, MaxRounds: o.MaxRounds, Workers: o.Workers}, func(nd *congest.Node) {
+	stats, err := congest.Run(g, congest.Options{Seed: o.Seed, Unbounded: o.Unbounded, MaxRounds: o.MaxRounds, Workers: o.Workers, DeliveryShards: o.DeliveryShards}, func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		loads := make(map[int]int64, nd.Degree())
 		res := packing.Pack(nd, bfs, 1, loads, packing.Options{SizeCap: o.SizeCap}, 1000, nil)
@@ -241,7 +246,7 @@ func ApproxMinCut(g *graph.Graph, opts *Options) (*Result, error) {
 	o := opts.withDefaults()
 	kappa := sampling.Kappa(o.Epsilon, g.N())
 	col := &collector{sides: make([]bool, g.N()), packs: make([]*packing.Result, g.N()), extra: map[string]int64{}}
-	stats, err := congest.Run(g, congest.Options{Seed: o.Seed, Unbounded: o.Unbounded, MaxRounds: o.MaxRounds, Workers: o.Workers}, func(nd *congest.Node) {
+	stats, err := congest.Run(g, congest.Options{Seed: o.Seed, Unbounded: o.Unbounded, MaxRounds: o.MaxRounds, Workers: o.Workers, DeliveryShards: o.DeliveryShards}, func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		approxProgram(nd, bfs, g, kappa, o, col)
 	})

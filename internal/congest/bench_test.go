@@ -121,9 +121,57 @@ func BenchmarkEngineExpanderSparse(b *testing.B) {
 	benchRun(b, g, Options{}, pingPongProgram(0, peer, 256))
 }
 
-// BenchmarkEngineExpanderWorkers runs the dense exchange in worker-pool
-// mode, bounding concurrently runnable node programs by GOMAXPROCS.
+// BenchmarkEngineExpanderWorkers runs the dense exchange in lane mode,
+// bounding concurrently runnable node programs by GOMAXPROCS.
 func BenchmarkEngineExpanderWorkers(b *testing.B) {
 	benchSetup()
 	benchRun(b, benchGraphs.expander, Options{Workers: runtime.GOMAXPROCS(0)}, exchangeProgram(8))
+}
+
+// BenchmarkEngineExpanderShards runs the dense exchange with the
+// delivery phase partitioned over GOMAXPROCS shards.
+func BenchmarkEngineExpanderShards(b *testing.B) {
+	benchSetup()
+	benchRun(b, benchGraphs.expander, Options{DeliveryShards: runtime.GOMAXPROCS(0)}, exchangeProgram(8))
+}
+
+// Million-scale workloads: graphs the seed engine could not simulate at
+// interactive speed (the pre-rewrite scheduler scanned all n nodes per
+// round and allocated per edge). Graph generation is excluded from
+// timings via ResetTimer; graphs build once per process.
+var millionGraphs struct {
+	once     sync.Once
+	path     *graph.Graph // 2^20 nodes, ~1M edges, diameter n-1
+	expander *graph.Graph // 250k nodes x 8-regular = 1M edges
+}
+
+func millionSetup(b *testing.B) {
+	b.Helper()
+	millionGraphs.once.Do(func() {
+		millionGraphs.path = graph.Path(1 << 20)
+		millionGraphs.expander = graph.RandomRegular(250_000, 8, 1)
+	})
+	b.ResetTimer()
+}
+
+// BenchmarkEngineMillionExpanderExchange: a full exchange round on a
+// million-edge 8-regular expander — 2M messages delivered per run with
+// every node active, the headline scaling workload.
+func BenchmarkEngineMillionExpanderExchange(b *testing.B) {
+	millionSetup(b)
+	benchRun(b, millionGraphs.expander,
+		Options{Workers: runtime.GOMAXPROCS(0), DeliveryShards: runtime.GOMAXPROCS(0)},
+		exchangeProgram(1))
+}
+
+// BenchmarkEngineMillionPathSparse: two adjacent nodes chatting on a
+// million-node path. Dominated by engine setup and teardown at n = 2^20
+// (goroutine, slab, and kernel page-zeroing churn) — the per-run cost
+// floor for million-node simulations. Runs after the expander workload
+// so its transient multi-GB footprint cannot distort that measurement.
+func BenchmarkEngineMillionPathSparse(b *testing.B) {
+	millionSetup(b)
+	g := millionGraphs.path
+	benchRun(b, g, Options{Workers: runtime.GOMAXPROCS(0)},
+		pingPongProgram(0, g.Adj(0)[0].Peer, 64))
 }

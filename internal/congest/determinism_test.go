@@ -59,17 +59,34 @@ func determinismFamilies() map[string]*graph.Graph {
 	}
 }
 
-// TestDeterminismAcrossModes: for the same seed, goroutine-per-node
-// mode and worker-pool mode (at several pool widths) must produce
+// TestDeterminismAcrossModes: for the same seed, every execution mode —
+// goroutine-per-node, lane mode (several widths), sharded delivery
+// (several shard counts), and their combinations — must produce
 // bit-identical Stats on every generator family.
 func TestDeterminismAcrossModes(t *testing.T) {
+	gp := runtime.GOMAXPROCS(0)
+	modes := []struct {
+		name            string
+		workers, shards int
+	}{
+		{"serial", 0, 0},
+		{"serial-again", 0, 0},
+		{"workers-1", 1, 0},
+		{"workers-2", 2, 0},
+		{"workers-gomaxprocs", gp, 0},
+		{"shards-2", 0, 2},
+		{"shards-3", 0, 3},
+		{"shards-gomaxprocs", 0, gp},
+		{"workers-2-shards-2", 2, 2},
+		{"workers-gomaxprocs-shards-4", gp, 4},
+	}
 	for name, g := range determinismFamilies() {
 		t.Run(name, func(t *testing.T) {
 			var want statsKey
-			for i, workers := range []int{0, 0, 1, 2, runtime.GOMAXPROCS(0)} {
-				stats, err := Run(g, Options{Seed: 42, Workers: workers}, chatterProgram)
+			for i, m := range modes {
+				stats, err := Run(g, Options{Seed: 42, Workers: m.workers, DeliveryShards: m.shards}, chatterProgram)
 				if err != nil {
-					t.Fatalf("workers=%d: %v", workers, err)
+					t.Fatalf("%s: %v", m.name, err)
 				}
 				got := keyOf(stats)
 				if i == 0 {
@@ -77,13 +94,84 @@ func TestDeterminismAcrossModes(t *testing.T) {
 					continue
 				}
 				if got != want {
-					t.Fatalf("workers=%d stats diverged: got %+v, want %+v", workers, got, want)
+					t.Fatalf("%s stats diverged: got %+v, want %+v", m.name, got, want)
 				}
 			}
 			if want.leftover != 0 {
 				t.Fatalf("workload left %d unconsumed messages", want.leftover)
 			}
 		})
+	}
+}
+
+// TestDeterminismUnbounded: the span-copy delivery of Unbounded mode
+// must stay bit-identical across serial, sharded, and lane execution.
+func TestDeterminismUnbounded(t *testing.T) {
+	for name, g := range determinismFamilies() {
+		t.Run(name, func(t *testing.T) {
+			var want statsKey
+			modes := []Options{
+				{Seed: 7, Unbounded: true},
+				{Seed: 7, Unbounded: true, DeliveryShards: 3},
+				{Seed: 7, Unbounded: true, Workers: 2, DeliveryShards: 2},
+			}
+			for i, opts := range modes {
+				stats, err := Run(g, opts, chatterProgram)
+				if err != nil {
+					t.Fatalf("mode %d: %v", i, err)
+				}
+				got := keyOf(stats)
+				if i == 0 {
+					want = got
+				} else if got != want {
+					t.Fatalf("mode %d stats diverged: got %+v, want %+v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardsEdgeCases: sharded delivery must preserve the engine's
+// error paths, not just the happy path.
+
+func TestShardsPanicPropagation(t *testing.T) {
+	g := graph.Cycle(6)
+	_, err := Run(g, Options{DeliveryShards: 3}, func(nd *Node) {
+		if nd.ID() == 4 {
+			panic("boom")
+		}
+		nd.Recv(MatchKind(kindToken))
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Node != 4 {
+		t.Fatalf("err = %v, want PanicError from node 4", err)
+	}
+}
+
+func TestShardsDeadlockDetection(t *testing.T) {
+	g := graph.Path(5)
+	_, err := Run(g, Options{DeliveryShards: 2}, func(nd *Node) {
+		nd.Recv(MatchKind(kindToken))
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestShardsMoreThanNodes(t *testing.T) {
+	g := graph.Path(2)
+	stats, err := Run(g, Options{DeliveryShards: 16}, func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(0, Message{Kind: kindToken})
+		} else {
+			nd.RecvKindTag(kindToken, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", stats.Delivered)
 	}
 }
 

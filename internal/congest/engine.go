@@ -4,7 +4,9 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -24,12 +26,20 @@ type Options struct {
 	// unbounded bandwidth. Used only by the pipelining ablation (E9).
 	Unbounded bool
 	// Workers, when positive, bounds how many node programs execute
-	// concurrently: scheduled nodes are multiplexed over this many lane
-	// workers instead of all being made runnable at once, so huge
-	// graphs stop thrashing the Go scheduler with n simultaneously
+	// concurrently: scheduled nodes are multiplexed over this many
+	// execution lanes instead of all being made runnable at once, so
+	// huge graphs stop thrashing the Go scheduler with n simultaneously
 	// runnable goroutines. Zero (the default) wakes every scheduled
 	// node at once. Stats are identical in both modes for a given seed.
 	Workers int
+	// DeliveryShards, when at least 2, partitions the sender registry
+	// by node-ID range into that many shards and runs the delivery and
+	// receive-matching phases on that many worker goroutines. Delivery
+	// order is order-independent (each (sender, port) pair feeds its
+	// own per-port FIFO at the peer; see the package docs), so Stats
+	// are bit-identical to serial delivery for a given seed. Zero or
+	// one delivers serially on the coordinator goroutine.
+	DeliveryShards int
 }
 
 // DefaultMaxRounds is the default safety cap on simulated rounds.
@@ -58,13 +68,19 @@ func (e *PanicError) Error() string {
 //
 // The scheduler's round loop allocates nothing in steady state: the
 // sender registry, receiver set, wake list, and park notifications all
-// live in reusable per-engine buffers, and message rings come from a
-// shared pool. Per round the coordinator (1) merges newly registered
-// senders, (2) delivers the head of every staged edge queue, stamping
-// receivers into an epoch-numbered generation array instead of a
-// per-round map, (3) computes the wake list from satisfied Recv
-// predicates and due sleepers, and (4) dispatches it — either waking
-// every node at once or funneling them through Options.Workers lanes.
+// live in reusable per-engine buffers, every queue's initial ring is
+// carved out of one per-run message slab recycled through a global
+// pool, and grown rings come from a shared size-class pool. Per round
+// the coordinator (1) merges newly registered senders into per-shard
+// registries, (2) runs the delivery phase — serially, or fanned out
+// over Options.DeliveryShards worker goroutines, each moving whole
+// ring spans per port and stamping receivers into its own
+// epoch-numbered generation array — then merges per-shard delivered
+// counts and receiver sets, (3) computes the wake list from satisfied
+// Recv predicates (evaluated in parallel over the same shards when the
+// receiver set is large) and due sleepers, and (4) dispatches it —
+// either waking every node at once or releasing Options.Workers lane
+// permits that parking nodes chain forward.
 type Engine struct {
 	g     *graph.Graph
 	opts  Options
@@ -85,43 +101,158 @@ type Engine struct {
 	// first Send after being drained (guarded by Node.outDirty), so
 	// delivery touches only nodes with traffic instead of scanning all
 	// n every round. newSenders is written lock-free by node goroutines
-	// via the newCount cursor; the coordinator merges it into senders
-	// between rounds.
-	senders    []*Node
-	newSenders []*Node
-	newCount   atomic.Int32
+	// via the newCount cursor; the coordinator distributes it over the
+	// per-shard registries between rounds.
+	newSenders  []*Node
+	newCount    atomic.Int32
+	senderCount int
 
-	// Receiver set: recvGen[v] == curGen marks v as already collected
-	// this round — an epoch-numbered flat array in place of a per-round
-	// map, with receivers as the reusable collection order.
+	// Delivery shards. Serial mode is the one-shard special case run
+	// inline on the coordinator; with DeliveryShards >= 2 each shard
+	// owns a goroutine, a node-ID range of the sender registry, and its
+	// own epoch-stamped receiver state, merged after every delivery.
+	shards    []*deliveryShard
+	shardDone chan struct{}
+
+	// Merged receiver set: recvGen[v] == curGen marks v as already
+	// collected this round — an epoch-numbered flat array in place of a
+	// per-round map, with receivers as the reusable collection order.
+	// Serial mode aliases receivers to the single shard's list.
 	recvGen   []uint32
 	curGen    uint32
 	receivers []*Node
 	wake      []*Node
 
+	// qSlab holds every per-port queue header in one dense allocation
+	// (kept small so delivery can hold it in cache); msgSlab backs the
+	// initial ring of every queue (one bulk carve instead of 2*ports
+	// small allocations; nil when the graph is too large and rings are
+	// pooled lazily); wakeChs is the slab of per-node wake channels.
+	// All three are recycled through global pools when the run ends, so
+	// repeated runs allocate none of them.
+	qSlab   []queue
+	msgSlab []Message
+	wakeChs []chan struct{}
+
 	// Park barrier: every dispatched node ends its activation in
-	// notifyPark. Direct mode counts activations down in running and
-	// signals roundDone at zero; worker mode signals per-node park
-	// channels so lane workers can chain to the next node. Nodes that
-	// parked in Sleep or exited are queued on notified for the
-	// coordinator (Recv parks need no attention).
+	// notifyPark, which counts running down and signals roundDone at
+	// zero. In lane mode (Options.Workers > 0) a parking node first
+	// chains its lane to the next scheduled node, so a round costs one
+	// batch of Workers wake permits instead of a per-node handshake
+	// with pool goroutines. Nodes that parked in Sleep or exited are
+	// queued on notified for the coordinator (Recv parks need no
+	// attention).
 	running   atomic.Int32
 	roundDone chan struct{}
 	notifyMu  sync.Mutex
 	notified  []*Node
 
-	// Worker-pool mode state (Options.Workers > 0).
-	workers    int
-	workCh     chan struct{}
-	curWake    []*Node
-	wakeIdx    atomic.Int32
-	workerBusy atomic.Int32
+	// Lane mode state (Options.Workers > 0).
+	workers int
+	curWake []*Node
+	wakeIdx atomic.Int32
 
 	sleepers sleepHeap
 	termWG   sync.WaitGroup
 
 	marksMu sync.Mutex
 	marks   []Mark
+}
+
+// deliveryShard owns one node-ID range of the sender registry plus the
+// scratch state the delivery and matching phases need, so shards never
+// write shared memory: delivered counts, receiver sets, and wake
+// sublists are merged by the coordinator in shard order after each
+// phase. Queue mutations need no synchronization because each (sender,
+// port) pair feeds exactly one per-port FIFO at its peer, and a sender
+// belongs to exactly one shard.
+type deliveryShard struct {
+	eng     *Engine
+	senders []*Node
+	scratch []*Node // merge buffer keeping senders ordered by node ID
+
+	// Delivery-phase state: an epoch-stamped receiver set private to
+	// this shard, plus the count of messages it moved this round.
+	recvGen   []uint32
+	curGen    uint32
+	receivers []*Node
+	delivered int64
+
+	// Matching-phase state: the [lo, hi) chunk of the merged receiver
+	// list this shard evaluates, and the wake sublist it produces.
+	lo, hi int
+	wake   []*Node
+
+	taskCh chan shardTask // nil in serial mode (phases run inline)
+}
+
+type shardTask uint8
+
+const (
+	taskDeliver shardTask = iota
+	taskMatch
+)
+
+// maxPreallocMessages caps the per-run message slab (in messages, 40 B
+// each): graphs up to ~6M ports (≈3M edges) get every initial ring from
+// one bulk allocation; larger graphs fall back to lazy per-queue
+// allocation so slab size never exceeds ~2.7 GB.
+const maxPreallocMessages = 1 << 26
+
+// qSlabPool, msgSlabPool, and wakeChPool recycle the three per-run
+// slabs across engines (runs dominated by engine setup, e.g. repeated
+// benchmark iterations, stop paying for them after the first run).
+// Each is bucketed by power-of-two capacity class so engines of
+// different sizes never evict each other's slabs (a pooled slab is
+// always big enough for any request of its class). Queue headers are
+// re-initialized on reuse; message slots need no zeroing since Message
+// holds no pointers and ring slots are written before they are read;
+// wake channels are always drained when a run ends.
+var (
+	qSlabPool   [48]sync.Pool
+	msgSlabPool [48]sync.Pool
+	wakeChPool  [48]sync.Pool
+)
+
+// slabClass is the pool bucket for a request of n elements: slabs in
+// bucket c have capacity exactly 1<<c >= n.
+func slabClass(n int) int {
+	if n < 2 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+func getQSlab(n int) []queue {
+	c := slabClass(n)
+	if v := qSlabPool[c].Get(); v != nil {
+		return v.([]queue)[:n]
+	}
+	return make([]queue, 1<<c)[:n]
+}
+
+func getMsgSlab(n int) []Message {
+	c := slabClass(n)
+	if v := msgSlabPool[c].Get(); v != nil {
+		return v.([]Message)[:n]
+	}
+	return make([]Message, 1<<c)[:n]
+}
+
+func getWakeChs(n int) []chan struct{} {
+	c := slabClass(n)
+	var s []chan struct{}
+	if v := wakeChPool[c].Get(); v != nil {
+		s = v.([]chan struct{})[:n]
+	} else {
+		s = make([]chan struct{}, 1<<c)[:n]
+	}
+	for i := range s {
+		if s[i] == nil {
+			s[i] = make(chan struct{}, 1)
+		}
+	}
+	return s
 }
 
 // Run simulates program on every node of g and returns run statistics.
@@ -138,44 +269,83 @@ func Run(g *graph.Graph, opts Options, program func(*Node)) (*Stats, error) {
 		opts.Workers = 0
 	}
 	n := g.N()
+	nShards := opts.DeliveryShards
+	if nShards < 2 {
+		nShards = 1
+	}
+	if nShards > n {
+		nShards = n
+	}
 	e := &Engine{
 		g:          g,
 		opts:       opts,
 		nodes:      make([]*Node, n),
 		newSenders: make([]*Node, n),
-		recvGen:    make([]uint32, n),
 		roundDone:  make(chan struct{}, 1),
 		workers:    opts.Workers,
 	}
 	e.buildRevPorts()
-	// All per-node queues share two slab allocations; Node structs share
-	// one more. Only the wake (and, in worker mode, park) channels are
-	// allocated per node.
+	e.shards = make([]*deliveryShard, nShards)
+	for s := range e.shards {
+		e.shards[s] = &deliveryShard{eng: e, recvGen: make([]uint32, n)}
+	}
+	if nShards > 1 {
+		e.recvGen = make([]uint32, n)
+		e.shardDone = make(chan struct{}, nShards)
+		for _, sh := range e.shards {
+			sh.taskCh = make(chan shardTask, 1)
+			go sh.loop()
+		}
+	}
+	// All per-node queue headers live in one pooled slab and Node
+	// structs in one more; each queue's initial ring is carved out of
+	// one pooled message slab, and wake channels come from a recycled
+	// slab, so engine setup is a handful of bulk allocations regardless
+	// of n.
 	nodeSlab := make([]Node, n)
-	qSlab := make([]queue, 2*len(e.revPort))
+	ports := len(e.revPort)
+	e.qSlab = getQSlab(2 * ports)
+	qSlab := e.qSlab
+	if want := ports * (slabOutCap + slabInCap); want <= maxPreallocMessages {
+		// Carve each queue's initial ring from the slab: send queues get
+		// slabOutCap slots, receive queues slabInCap (see queue.go). The
+		// layout is segregated, not interleaved — qSlab[0:ports] holds
+		// every send-queue header in port order and qSlab[ports:] every
+		// receive-queue header, with rings carved in the same two passes
+		// — so the randomly-addressed receive-side state that delivery
+		// hits (headers + small rings) is compact enough to stay
+		// cache-resident instead of being strewn through the whole slab.
+		e.msgSlab = getMsgSlab(want)
+		for i := 0; i < ports; i++ {
+			off := i * slabOutCap
+			qSlab[i] = queue{buf: e.msgSlab[off : off+slabOutCap : off+slabOutCap]}
+		}
+		inBase := ports * slabOutCap
+		for i := 0; i < ports; i++ {
+			off := inBase + i*slabInCap
+			qSlab[ports+i] = queue{buf: e.msgSlab[off : off+slabInCap : off+slabInCap]}
+		}
+	} else {
+		for i := range qSlab {
+			qSlab[i] = queue{}
+		}
+	}
+	e.wakeChs = getWakeChs(n)
 	for i := 0; i < n; i++ {
 		adj := g.Adj(graph.NodeID(i))
 		off := int(e.portOff[i])
 		nd := &nodeSlab[i]
 		*nd = Node{
-			id:     graph.NodeID(i),
-			eng:    e,
-			adj:    adj,
-			outQ:   qSlab[2*off : 2*off+len(adj)],
-			inQ:    qSlab[2*off+len(adj) : 2*off+2*len(adj)],
-			wakeCh: make(chan struct{}, 1),
-			phase:  phaseRunning,
-		}
-		if e.workers > 0 {
-			nd.parkCh = make(chan struct{}, 1)
+			id:       graph.NodeID(i),
+			eng:      e,
+			adj:      adj,
+			outQ:     qSlab[off : off+len(adj)],
+			inQ:      qSlab[ports+off : ports+off+len(adj)],
+			wakeCh:   e.wakeChs[i],
+			phase:    phaseRunning,
+			hintPort: -1,
 		}
 		e.nodes[i] = nd
-	}
-	if e.workers > 0 {
-		e.workCh = make(chan struct{}, e.workers)
-		for i := 0; i < e.workers; i++ {
-			go e.workerLoop()
-		}
 	}
 	e.termWG.Add(n)
 	for _, nd := range e.nodes {
@@ -183,15 +353,30 @@ func Run(g *graph.Graph, opts Options, program func(*Node)) (*Stats, error) {
 	}
 	stats, err := e.coordinate()
 	e.termWG.Wait()
-	if e.workCh != nil {
-		close(e.workCh)
+	for _, sh := range e.shards {
+		if sh.taskCh != nil {
+			close(sh.taskCh)
+		}
 	}
+	// Recycle the slabs (into the bucket matching their power-of-two
+	// capacity). Every node goroutine has exited and every wake signal
+	// was consumed by a park (or the abort unwind), so the channels are
+	// drained; queue headers are re-initialized on reuse and Message
+	// buffers hold no pointers.
+	qSlabPool[slabClass(cap(e.qSlab))].Put(e.qSlab) //nolint:staticcheck // slice header cost is amortized over the slab
+	e.qSlab = nil
+	if e.msgSlab != nil {
+		msgSlabPool[slabClass(cap(e.msgSlab))].Put(e.msgSlab) //nolint:staticcheck
+		e.msgSlab = nil
+	}
+	wakeChPool[slabClass(cap(e.wakeChs))].Put(e.wakeChs) //nolint:staticcheck
+	e.wakeChs = nil
 	return stats, err
 }
 
 // nodeMain hosts one node program. The goroutine blocks until the
-// scheduler dispatches its initial activation, so worker-pool mode
-// bounds concurrency from the very first instruction.
+// scheduler dispatches its initial activation, so lane mode bounds
+// concurrency from the very first instruction.
 func (e *Engine) nodeMain(nd *Node, program func(*Node)) {
 	defer e.termWG.Done()
 	defer func() {
@@ -229,7 +414,11 @@ func (e *Engine) addSender(nd *Node) {
 	e.newSenders[e.newCount.Add(1)-1] = nd
 }
 
-// notifyPark ends a node activation. Called from node goroutines.
+// notifyPark ends a node activation. Called from node goroutines. In
+// lane mode the parking node first chains its lane to the next
+// scheduled node, so the round's wake list drains through Workers
+// concurrent chains with one channel operation per activation instead
+// of a wake/park handshake against pool goroutines.
 func (e *Engine) notifyPark(nd *Node) {
 	if e.aborted.Load() {
 		return // teardown: the coordinator only waits on termWG now
@@ -239,60 +428,45 @@ func (e *Engine) notifyPark(nd *Node) {
 		e.notified = append(e.notified, nd)
 		e.notifyMu.Unlock()
 	}
-	if nd.parkCh != nil {
-		nd.parkCh <- struct{}{}
-	} else if e.running.Add(-1) == 0 {
+	if e.workers > 0 {
+		if i := int(e.wakeIdx.Add(1)) - 1; i < len(e.curWake) {
+			next := e.curWake[i]
+			next.phase = phaseRunning
+			next.wakeCh <- struct{}{}
+		}
+	}
+	if e.running.Add(-1) == 0 {
 		e.roundDone <- struct{}{}
 	}
 }
 
 // dispatch runs one activation of every node in wake and returns when
-// all of them have parked or exited.
+// all of them have parked or exited. Direct mode wakes every scheduled
+// node; lane mode releases one batch of Workers wake permits and lets
+// parking nodes chain the rest (see notifyPark).
 func (e *Engine) dispatch(wake []*Node) {
 	if len(wake) == 0 {
 		return
 	}
+	e.running.Store(int32(len(wake)))
 	if e.workers > 0 {
-		e.curWake = wake
-		e.wakeIdx.Store(0)
 		w := e.workers
 		if w > len(wake) {
 			w = len(wake)
 		}
-		e.workerBusy.Store(int32(w))
-		for i := 0; i < w; i++ {
-			e.workCh <- struct{}{}
+		e.curWake = wake
+		e.wakeIdx.Store(int32(w))
+		for _, nd := range wake[:w] {
+			nd.phase = phaseRunning
+			nd.wakeCh <- struct{}{}
 		}
 	} else {
-		e.running.Store(int32(len(wake)))
 		for _, nd := range wake {
 			nd.phase = phaseRunning
 			nd.wakeCh <- struct{}{}
 		}
 	}
 	<-e.roundDone
-}
-
-// workerLoop is one lane of the worker pool: it claims scheduled nodes
-// off the shared wake cursor and runs each to its next park before
-// taking another, so at most Options.Workers node programs are runnable
-// at any instant.
-func (e *Engine) workerLoop() {
-	for range e.workCh {
-		for {
-			i := int(e.wakeIdx.Add(1)) - 1
-			if i >= len(e.curWake) {
-				break
-			}
-			nd := e.curWake[i]
-			nd.phase = phaseRunning
-			nd.wakeCh <- struct{}{}
-			<-nd.parkCh
-		}
-		if e.workerBusy.Add(-1) == 0 {
-			e.roundDone <- struct{}{}
-		}
-	}
 }
 
 // coordinate is the engine main loop; it runs on the caller goroutine.
@@ -321,12 +495,12 @@ func (e *Engine) coordinate() (*Stats, error) {
 			return e.abort(firstPanic)
 		}
 		e.mergeSenders()
-		if done == n && len(e.senders) == 0 {
+		if done == n && e.senderCount == 0 {
 			return e.stats(), nil
 		}
 		// Decide the next round: the immediate next one if traffic is in
 		// flight, otherwise fast-forward to the earliest sleep deadline.
-		if len(e.senders) > 0 {
+		if e.senderCount > 0 {
 			e.round++
 		} else {
 			e.purgeStaleSleepers()
@@ -344,46 +518,212 @@ func (e *Engine) coordinate() (*Stats, error) {
 	}
 }
 
-// mergeSenders folds nodes registered during the last activations into
-// the coordinator's sender set.
+// mergeSenders distributes nodes registered during the last activations
+// over the per-shard sender registries (by node-ID range, so every
+// sender is delivered by exactly one shard) and refreshes the total
+// sender count the round-advance decision uses. Registries are kept
+// ordered by node ID: delivery order is semantically irrelevant (see
+// the package docs), but ID order makes the delivery phase stream
+// sequentially through the node and queue slabs instead of hopping in
+// goroutine-registration order, which is worth a large constant factor
+// in cache hits on big graphs.
 func (e *Engine) mergeSenders() {
 	k := int(e.newCount.Swap(0))
-	e.senders = append(e.senders, e.newSenders[:k]...)
+	if k > 0 {
+		if len(e.shards) == 1 {
+			e.shards[0].addSenders(e.newSenders[:k])
+		} else {
+			p, n := int64(len(e.shards)), int64(len(e.nodes))
+			lo := 0
+			// newSenders entries for one shard form a contiguous run
+			// only after grouping; partition by shard, then bulk-add.
+			sort.Slice(e.newSenders[:k], func(i, j int) bool {
+				return e.newSenders[i].id < e.newSenders[j].id
+			})
+			for s, sh := range e.shards {
+				hi := lo
+				for hi < k && int64(e.newSenders[hi].id)*p/n == int64(s) {
+					hi++
+				}
+				if hi > lo {
+					sh.addSenders(e.newSenders[lo:hi])
+					lo = hi
+				}
+			}
+		}
+	}
+	e.senderCount = 0
+	for _, sh := range e.shards {
+		e.senderCount += len(sh.senders)
+	}
 }
 
-// deliver transmits the head (or, in Unbounded mode, the entirety) of
-// every staged edge queue, collects the receiver set, and compacts the
-// sender set in place. Only nodes with traffic are touched; the
-// resulting message state is independent of sender order because each
-// (sender, port) pair feeds its own per-port FIFO at the peer.
+// addSenders appends batch (which the caller has sorted by node ID) to
+// the shard's registry and restores ID order with one backward in-place
+// merge — O(len + |batch|), no full re-sort.
+func (sh *deliveryShard) addSenders(batch []*Node) {
+	if !sort.SliceIsSorted(batch, func(i, j int) bool { return batch[i].id < batch[j].id }) {
+		// Serial mode hands the raw registration-order batch over.
+		sort.Slice(batch, func(i, j int) bool { return batch[i].id < batch[j].id })
+	}
+	old := len(sh.senders)
+	if old == 0 {
+		sh.senders = append(sh.senders, batch...)
+		return
+	}
+	if sh.senders[old-1].id <= batch[0].id {
+		sh.senders = append(sh.senders, batch...)
+		return
+	}
+	sh.scratch = append(sh.scratch[:0], batch...)
+	sh.senders = append(sh.senders, batch...)
+	i, j, w := old-1, len(sh.scratch)-1, len(sh.senders)-1
+	for j >= 0 && i >= 0 {
+		if sh.scratch[j].id > sh.senders[i].id {
+			sh.senders[w] = sh.scratch[j]
+			j--
+		} else {
+			sh.senders[w] = sh.senders[i]
+			i--
+		}
+		w--
+	}
+	for j >= 0 {
+		sh.senders[w] = sh.scratch[j]
+		j--
+		w--
+	}
+}
+
+// deliver runs the delivery phase. Serial mode runs the single shard
+// inline; sharded mode fans the shards out over their worker goroutines
+// and then merges the per-shard delivered counts and receiver sets in
+// shard order, deduplicating receivers through the engine's own
+// epoch-stamped generation array so the wake phase sees each receiver
+// exactly once. Both paths produce identical message state because
+// delivery is order-independent across (sender, port) pairs.
 func (e *Engine) deliver() {
-	e.curGen++
-	e.receivers = e.receivers[:0]
-	kept := e.senders[:0]
-	for _, nd := range e.senders {
-		off := e.portOff[nd.id]
+	if len(e.shards) == 1 {
+		sh := e.shards[0]
+		sh.deliver()
+		e.delivered += sh.delivered
+		sh.delivered = 0
+		e.receivers = sh.receivers
+		e.orderReceivers(sh.recvGen, sh.curGen)
+		sh.receivers = e.receivers
+	} else {
+		for _, sh := range e.shards {
+			sh.taskCh <- taskDeliver
+		}
+		for range e.shards {
+			<-e.shardDone
+		}
+		e.curGen++
+		e.receivers = e.receivers[:0]
+		for _, sh := range e.shards {
+			e.delivered += sh.delivered
+			sh.delivered = 0
+			for _, nd := range sh.receivers {
+				if e.recvGen[nd.id] != e.curGen {
+					e.recvGen[nd.id] = e.curGen
+					e.receivers = append(e.receivers, nd)
+				}
+			}
+		}
+		e.orderReceivers(e.recvGen, e.curGen)
+	}
+}
+
+// orderReceivers rewrites e.receivers in node-ID order: a dense set is
+// rebuilt with one sequential sweep of the generation array, a sparse
+// one is sorted directly. Receiver order never affects Stats (matching
+// is a pure per-node predicate and wake order is semantically free), but
+// ID order makes the matching phase and the woken nodes' first Recv
+// stream through the node and queue slabs instead of chasing the random
+// peer order delivery produced.
+func (e *Engine) orderReceivers(gen []uint32, cur uint32) {
+	r := e.receivers
+	if len(r) <= 1 {
+		return
+	}
+	if len(r)*4 >= len(e.nodes) {
+		r = r[:0]
+		for i, nd := range e.nodes {
+			if gen[i] == cur {
+				r = append(r, nd)
+			}
+		}
+		e.receivers = r
+	} else {
+		sort.Slice(r, func(i, j int) bool { return r[i].id < r[j].id })
+	}
+}
+
+// loop is one shard worker: it executes delivery and matching tasks for
+// its shard until the engine shuts it down.
+func (sh *deliveryShard) loop() {
+	for task := range sh.taskCh {
+		switch task {
+		case taskDeliver:
+			sh.deliver()
+		case taskMatch:
+			sh.match()
+		}
+		sh.eng.shardDone <- struct{}{}
+	}
+}
+
+// deliver transmits the head (or, in Unbounded mode, the whole span) of
+// every staged edge queue owned by this shard, collects the shard-local
+// receiver set, and compacts the shard's sender registry in place. The
+// single-message transfer is inlined — one ring read, one ring write —
+// and multi-message rounds move whole ring spans with bulk copies.
+func (sh *deliveryShard) deliver() {
+	e := sh.eng
+	unbounded := e.opts.Unbounded
+	// Hot-path locals: the peer's inQ ring is addressed straight through
+	// the flat port tables and the segregated queue slab (the receive
+	// queue for port rp of node v is inSlab[portOff[v]+rp]), so
+	// delivering a message never touches the peer's Node struct — only
+	// its queue header and ring.
+	inSlab := e.qSlab[len(e.revPort):]
+	portOff, revPort := e.portOff, e.revPort
+	sh.curGen++
+	sh.receivers = sh.receivers[:0]
+	kept := sh.senders[:0]
+	for _, nd := range sh.senders {
+		off := int(portOff[nd.id])
+		rev := revPort[off : off+len(nd.adj)]
 		for p := range nd.outQ {
 			q := &nd.outQ[p]
 			if q.n == 0 {
 				continue
 			}
-			k := 1
-			if e.opts.Unbounded {
-				k = q.n
-			}
-			peer := e.nodes[nd.adj[p].Peer]
-			inq := &peer.inQ[e.revPort[off+int32(p)]]
-			for i := 0; i < k; i++ {
-				m, _ := q.pop(&msgBufPool)
-				inq.push(&msgBufPool, m)
-			}
-			e.delivered += int64(k)
-			if q.n == 0 {
+			v := nd.adj[p].Peer
+			inq := &inSlab[int(portOff[v])+int(rev[p])]
+			if unbounded {
+				k := q.n
+				q.moveTo(&msgBufPool, inq, k)
+				sh.delivered += int64(k)
 				nd.nonEmptyOut--
+			} else {
+				m := q.buf[q.head]
+				q.head = (q.head + 1) & (len(q.buf) - 1)
+				q.n--
+				if q.n == 0 {
+					q.maybeRelease(&msgBufPool)
+					nd.nonEmptyOut--
+				}
+				if inq.n == len(inq.buf) {
+					inq.grow(&msgBufPool)
+				}
+				inq.buf[(inq.head+inq.n)&(len(inq.buf)-1)] = m
+				inq.n++
+				sh.delivered++
 			}
-			if e.recvGen[peer.id] != e.curGen {
-				e.recvGen[peer.id] = e.curGen
-				e.receivers = append(e.receivers, peer)
+			if sh.recvGen[v] != sh.curGen {
+				sh.recvGen[v] = sh.curGen
+				sh.receivers = append(sh.receivers, e.nodes[v])
 			}
 		}
 		if nd.nonEmptyOut > 0 {
@@ -392,19 +732,64 @@ func (e *Engine) deliver() {
 			nd.outDirty = false
 		}
 	}
-	e.senders = kept
+	sh.senders = kept
 }
 
-// buildWakeSet fills e.wake with receivers whose Recv predicate is now
-// satisfied plus sleepers whose deadline has passed.
-func (e *Engine) buildWakeSet() {
-	e.wake = e.wake[:0]
-	for _, nd := range e.receivers {
+// match evaluates the Recv predicates of the [lo, hi) chunk of the
+// merged receiver list and collects the satisfied ones into the shard's
+// wake sublist. Reads queue state only; the single write per receiver
+// (the match hint) goes to a node this chunk exclusively owns.
+func (sh *deliveryShard) match() {
+	e := sh.eng
+	sh.wake = sh.wake[:0]
+	for _, nd := range e.receivers[sh.lo:sh.hi] {
 		if nd.phase != phaseRecv {
 			continue // running sleeper accounting separately; done nodes keep leftovers
 		}
 		if e.matches(nd) {
-			e.wake = append(e.wake, nd)
+			sh.wake = append(sh.wake, nd)
+		}
+	}
+}
+
+// parallelMatchMin is the receiver-count threshold below which the
+// matching phase stays on the coordinator even when shards exist.
+const parallelMatchMin = 64
+
+// buildWakeSet fills e.wake with receivers whose Recv predicate is now
+// satisfied plus sleepers whose deadline has passed. With shards and a
+// large receiver set, predicate evaluation fans out over the shard
+// workers in contiguous chunks whose wake sublists concatenate in chunk
+// order (wake-list order never affects Stats; see the package docs).
+func (e *Engine) buildWakeSet() {
+	e.wake = e.wake[:0]
+	if len(e.shards) > 1 && len(e.receivers) >= parallelMatchMin {
+		per := (len(e.receivers) + len(e.shards) - 1) / len(e.shards)
+		for i, sh := range e.shards {
+			sh.lo = i * per
+			if sh.lo > len(e.receivers) {
+				sh.lo = len(e.receivers)
+			}
+			sh.hi = sh.lo + per
+			if sh.hi > len(e.receivers) {
+				sh.hi = len(e.receivers)
+			}
+			sh.taskCh <- taskMatch
+		}
+		for range e.shards {
+			<-e.shardDone
+		}
+		for _, sh := range e.shards {
+			e.wake = append(e.wake, sh.wake...)
+		}
+	} else {
+		for _, nd := range e.receivers {
+			if nd.phase != phaseRecv {
+				continue // running sleeper accounting separately; done nodes keep leftovers
+			}
+			if e.matches(nd) {
+				e.wake = append(e.wake, nd)
+			}
 		}
 	}
 	for e.sleepers.Len() > 0 && e.sleepers[0].at <= e.round {
@@ -423,11 +808,22 @@ func (e *Engine) purgeStaleSleepers() {
 	}
 }
 
+// matches reports whether nd's pending Recv predicate is satisfied,
+// recording the matching (port, index) as a hint so the woken node's
+// Recv can consume the message directly instead of rescanning. The scan
+// order (lowest port, FIFO within a port) is exactly TryRecv's, so the
+// hint is the message TryRecv would find.
 func (e *Engine) matches(nd *Node) bool {
 	for p := range nd.inQ {
 		q := &nd.inQ[p]
-		for i := 0; i < q.len(); i++ {
-			if nd.match(p, q.at(i)) {
+		n := q.n
+		if n == 0 {
+			continue
+		}
+		mask := len(q.buf) - 1
+		for i := 0; i < n; i++ {
+			if nd.match(p, q.buf[(q.head+i)&mask]) {
+				nd.hintPort, nd.hintIdx = int32(p), int32(i)
 				return true
 			}
 		}

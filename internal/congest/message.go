@@ -18,13 +18,29 @@
 // is proportional to messages moved plus nodes woken — not n x rounds.
 //
 // The scheduler's round loop reuses per-engine scratch buffers (an
-// epoch-stamped receiver array, a wake list, a sender registry) and
-// pools message ring buffers, so steady-state simulation does not
-// allocate. Each node program runs on its own goroutine (it holds the
-// program's stack between rounds); with Options.Workers > 0, wake-ups
-// are funneled through that many lane workers so only Workers programs
-// are runnable at once, which keeps very large graphs from thrashing
-// the Go scheduler.
+// epoch-stamped receiver array, a wake list, per-shard sender
+// registries) and slab-allocates every queue and its initial ring, so
+// steady-state simulation does not allocate and engine setup is a
+// handful of bulk allocations recycled across runs. Each node program
+// runs on its own goroutine (it holds the program's stack between
+// rounds); with Options.Workers > 0, each round releases that many wake
+// permits and parking nodes chain them forward, so only Workers
+// programs are runnable at once, which keeps very large graphs from
+// thrashing the Go scheduler.
+//
+// # Sharded delivery
+//
+// The delivery phase moves the head (or, in Unbounded mode, the whole
+// ring span, with bulk copies) of every staged edge queue. With
+// Options.DeliveryShards >= 2 the sender registry is partitioned by
+// node-ID range over that many worker goroutines, each delivering its
+// senders and stamping receivers into its own epoch-numbered array;
+// the coordinator then merges per-shard delivered counts and receiver
+// sets in shard order and fans the receive-predicate evaluation back
+// out over the same workers. Sharding is safe because delivery is
+// order-independent: each (sender, port) pair feeds exactly one
+// per-port FIFO at its peer, so no two shards ever write the same
+// queue, and the merged receiver set is deduplicated before wake-up.
 //
 // # Determinism
 //
@@ -35,7 +51,8 @@
 // iteration order. Per-node RNGs are seeded from Options.Seed and the
 // node ID. Two runs with the same graph, options, and program produce
 // identical Stats (rounds, sent, delivered, wakeups, leftover) — and so
-// do runs that differ only in Options.Workers. The one scheduling-
+// do runs that differ only in Options.Workers or
+// Options.DeliveryShards, in any combination. The one scheduling-
 // dependent quantity is the interleaving of Marks recorded by different
 // nodes within the same round.
 //

@@ -32,8 +32,15 @@ type Node struct {
 	wakeAt   int       // valid while phase == phaseSleep
 	parkGen  int       // incremented on every park; invalidates stale sleeper heap entries
 	wakeCh   chan struct{}
-	parkCh   chan struct{} // worker mode only: signals this node's lane worker
 	panicVal any
+
+	// Match hint: when the scheduler wakes this node from Recv, it has
+	// already found the first matching message (lowest port, FIFO within
+	// a port) while evaluating the wake predicate; it records that
+	// position here so the woken Recv consumes it directly instead of
+	// rescanning every port. hintPort is -1 whenever no hint is pending.
+	hintPort int32
+	hintIdx  int32
 
 	nonEmptyOut int   // number of ports with staged messages (node-local view)
 	outDirty    bool  // registered in the engine's sender set
@@ -95,10 +102,16 @@ func (nd *Node) Send(p int, m Message) {
 		nd.outDirty = true
 		nd.eng.addSender(nd)
 	}
-	if nd.outQ[p].len() == 0 {
+	q := &nd.outQ[p]
+	if q.n == 0 {
 		nd.nonEmptyOut++
 	}
-	nd.outQ[p].push(&msgBufPool, m)
+	if q.n < len(q.buf) { // inlined push fast path
+		q.buf[(q.head+q.n)&(len(q.buf)-1)] = m
+		q.n++
+	} else {
+		q.push(&msgBufPool, m)
+	}
 	nd.sent++
 }
 
@@ -114,8 +127,13 @@ func (nd *Node) SendAll(m Message) {
 func (nd *Node) TryRecv(match MatchFunc) (int, Message, bool) {
 	for p := range nd.inQ {
 		q := &nd.inQ[p]
-		for i := 0; i < q.len(); i++ {
-			if match(p, q.at(i)) {
+		n := q.n
+		if n == 0 {
+			continue
+		}
+		mask := len(q.buf) - 1
+		for i := 0; i < n; i++ {
+			if match(p, q.buf[(q.head+i)&mask]) {
 				return p, q.removeAt(&msgBufPool, i), true
 			}
 		}
@@ -132,6 +150,17 @@ func (nd *Node) Recv(match MatchFunc) (int, Message) {
 	}
 	nd.match = match
 	nd.park(phaseRecv)
+	// The scheduler woke this node because the predicate held; it left
+	// the match position as a hint, saving the post-wake rescan. The
+	// hint is revalidated cheaply before use.
+	if p := int(nd.hintPort); p >= 0 {
+		i := int(nd.hintIdx)
+		nd.hintPort = -1
+		q := &nd.inQ[p]
+		if i < q.n && match(p, q.at(i)) {
+			return p, q.removeAt(&msgBufPool, i)
+		}
+	}
 	p, m, ok := nd.TryRecv(match)
 	if !ok {
 		panic(fmt.Sprintf("congest: node %d woken from Recv with no matching message", nd.id))

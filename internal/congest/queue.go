@@ -7,10 +7,12 @@ import (
 
 // queue is a FIFO of messages backed by a power-of-two ring buffer with
 // amortized O(1) push/pop and support for removing an element at an
-// arbitrary index (selective receive). Backing arrays come from a
-// shared size-class pool so per-edge queues stop allocating once the
-// process has warmed up, and large drained buffers return to the pool
-// instead of pinning memory for the rest of the run.
+// arbitrary index (selective receive). Initial rings are carved out of
+// one per-engine message slab (see Engine.msgSlab) so the queue
+// metadata stays a dense 40-byte array that delivery can keep
+// cache-resident; queues that outgrow their slab ring switch to buffers
+// from a shared size-class pool, and large drained buffers return to
+// the pool instead of pinning memory for the rest of the run.
 type queue struct {
 	buf  []Message // power-of-two capacity; nil when empty and released
 	head int
@@ -65,9 +67,19 @@ func (q *queue) removeAt(p *bufPool, i int) Message {
 }
 
 func (q *queue) grow(p *bufPool) {
+	q.growTo(p, len(q.buf)+1)
+}
+
+// growTo replaces the ring with one of power-of-two capacity >= need,
+// preserving FIFO order. Growth jumps straight to the smallest pooled
+// class, so leaving a slab ring costs no intermediate allocations.
+func (q *queue) growTo(p *bufPool, need int) {
 	newCap := 2 * len(q.buf)
-	if newCap < minQueueCap {
-		newCap = minQueueCap
+	if newCap < minPoolCap {
+		newCap = minPoolCap
+	}
+	for newCap < need {
+		newCap *= 2
 	}
 	nb := p.get(newCap)
 	mask := len(q.buf) - 1
@@ -79,6 +91,40 @@ func (q *queue) grow(p *bufPool) {
 	}
 	q.buf = nb
 	q.head = 0
+}
+
+// moveTo transfers the k oldest messages from q's head to dst's tail in
+// FIFO order using bulk copies of contiguous ring spans (at most three
+// copy calls: the source span and the destination free space each wrap
+// at most once) instead of k pop/push round trips. It is the vectorized
+// delivery primitive for Unbounded and other multi-message rounds.
+func (q *queue) moveTo(p *bufPool, dst *queue, k int) {
+	if k > q.n {
+		k = q.n
+	}
+	if k == 0 {
+		return
+	}
+	if dst.n+k > len(dst.buf) {
+		dst.growTo(p, dst.n+k)
+	}
+	mask, dmask := len(q.buf)-1, len(dst.buf)-1
+	for k > 0 {
+		chunk := k
+		if c := len(q.buf) - q.head; c < chunk {
+			chunk = c // contiguous span at the source head
+		}
+		t := (dst.head + dst.n) & dmask
+		if c := len(dst.buf) - t; c < chunk {
+			chunk = c // contiguous free space at the destination tail
+		}
+		copy(dst.buf[t:t+chunk], q.buf[q.head:q.head+chunk])
+		q.head = (q.head + chunk) & mask
+		q.n -= chunk
+		dst.n += chunk
+		k -= chunk
+	}
+	q.maybeRelease(p)
 }
 
 // maybeRelease returns a fully drained buffer to the pool when it is
@@ -93,8 +139,18 @@ func (q *queue) maybeRelease(p *bufPool) {
 }
 
 const (
-	// minQueueCap is the smallest ring allocated; must be a power of two.
-	minQueueCap = 8
+	// slabOutCap and slabInCap are the ring capacities carved out of the
+	// per-engine message slab for send and receive queues respectively;
+	// both must be powers of two. Send queues get room for the staged
+	// pipelines protocols build up front; receive queues get the one or
+	// two in-flight messages a round leaves behind, which keeps the
+	// randomly-addressed receive-ring region of the slab small enough to
+	// stay cache-resident during delivery.
+	slabOutCap = 8
+	slabInCap  = 2
+	// minPoolCap is the smallest pooled ring; must be a power of two
+	// larger than slabOutCap so slab carves never enter the pool.
+	minPoolCap = 16
 	// releaseCap is the smallest capacity eagerly returned to the pool
 	// when a queue drains.
 	releaseCap = 256
@@ -107,14 +163,17 @@ const (
 // Message contains no pointers, so recycled buffers need no zeroing and
 // never retain garbage. A single process-wide pool (msgBufPool) is
 // shared by every engine so repeated runs reuse each other's buffers.
+// Rings below minPoolCap are silently rejected by put: they are slab
+// carves (see Engine.msgSlab) that must never circulate through the
+// pool while whole slabs are recycled.
 type bufPool struct {
-	classes [16]sync.Pool // capacities minQueueCap..maxPooledCap
+	classes [15]sync.Pool // capacities minPoolCap..maxPooledCap
 }
 
 var msgBufPool bufPool
 
 func classFor(capacity int) int {
-	return bits.Len(uint(capacity)) - 4 // 8 -> 0, 16 -> 1, ...
+	return bits.Len(uint(capacity)) - 5 // 16 -> 0, 32 -> 1, ...
 }
 
 func (bp *bufPool) get(capacity int) []Message {
@@ -129,7 +188,7 @@ func (bp *bufPool) get(capacity int) []Message {
 
 func (bp *bufPool) put(buf []Message) {
 	c := cap(buf)
-	if c < minQueueCap || c > maxPooledCap || c&(c-1) != 0 {
+	if c < minPoolCap || c > maxPooledCap || c&(c-1) != 0 {
 		return
 	}
 	bp.classes[classFor(c)].Put(buf[:c]) //nolint:staticcheck // slice headers are an acceptable pool cost

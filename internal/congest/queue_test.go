@@ -1,0 +1,128 @@
+package congest
+
+import (
+	"testing"
+)
+
+// fillWrapped returns a queue whose ring is wrapped: head sits at
+// offset within the backing array and n live messages (values
+// base..base+n-1 in A) span the wrap point.
+func fillWrapped(t *testing.T, capacity, offset, n int, base int64) *queue {
+	t.Helper()
+	q := &queue{}
+	q.growTo(&msgBufPool, capacity)
+	if len(q.buf) < capacity {
+		t.Fatalf("growTo(%d) gave cap %d", capacity, len(q.buf))
+	}
+	// Advance head to offset by pushing and popping placeholders.
+	for i := 0; i < offset; i++ {
+		q.push(&msgBufPool, Message{A: -1})
+		q.pop(&msgBufPool)
+	}
+	for i := 0; i < n; i++ {
+		q.push(&msgBufPool, Message{A: base + int64(i)})
+	}
+	if q.head != offset&(len(q.buf)-1) || q.n != n {
+		t.Fatalf("setup: head=%d n=%d, want head=%d n=%d", q.head, q.n, offset, n)
+	}
+	return q
+}
+
+func drainValues(q *queue) []int64 {
+	var out []int64
+	for {
+		m, ok := q.pop(&msgBufPool)
+		if !ok {
+			return out
+		}
+		out = append(out, m.A)
+	}
+}
+
+// TestQueueMoveToWraparound: moveTo must preserve FIFO order for every
+// combination of source span wrap, destination free-space wrap, and
+// destination growth, including moves that drain the source exactly.
+func TestQueueMoveToWraparound(t *testing.T) {
+	cases := []struct {
+		name                 string
+		srcCap, srcOff, srcN int
+		dstCap, dstOff, dstN int
+		k                    int
+	}{
+		{"no-wrap", 16, 0, 10, 16, 0, 2, 5},
+		{"src-wraps", 16, 12, 10, 32, 0, 0, 10},
+		{"dst-wraps", 16, 0, 8, 16, 13, 4, 8},
+		{"both-wrap", 16, 14, 12, 16, 15, 3, 12},
+		{"dst-grows", 16, 9, 14, 16, 5, 10, 14},
+		{"drain-exact", 16, 15, 16, 64, 0, 0, 16},
+		{"partial", 16, 7, 12, 16, 2, 1, 5},
+		{"k-exceeds-n", 16, 3, 4, 16, 0, 0, 99},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := fillWrapped(t, tc.srcCap, tc.srcOff, tc.srcN, 100)
+			dst := fillWrapped(t, tc.dstCap, tc.dstOff, tc.dstN, 500)
+
+			moved := tc.k
+			if moved > tc.srcN {
+				moved = tc.srcN
+			}
+			src.moveTo(&msgBufPool, dst, tc.k)
+
+			if src.n != tc.srcN-moved {
+				t.Fatalf("src.n = %d, want %d", src.n, tc.srcN-moved)
+			}
+			if dst.n != tc.dstN+moved {
+				t.Fatalf("dst.n = %d, want %d", dst.n, tc.dstN+moved)
+			}
+			// Destination: its own prior contents first, then the moved
+			// span, all in FIFO order.
+			got := drainValues(dst)
+			for i, v := range got {
+				var want int64
+				if i < tc.dstN {
+					want = 500 + int64(i)
+				} else {
+					want = 100 + int64(i-tc.dstN)
+				}
+				if v != want {
+					t.Fatalf("dst[%d] = %d, want %d (full: %v)", i, v, want, got)
+				}
+			}
+			// Source: the tail that stayed behind.
+			rest := drainValues(src)
+			for i, v := range rest {
+				if want := 100 + int64(moved+i); v != want {
+					t.Fatalf("src[%d] = %d, want %d (full: %v)", i, v, want, rest)
+				}
+			}
+		})
+	}
+}
+
+// TestQueueMoveToIntoSlabRing: moving into a small slab-carved ring
+// must grow it through the pool without losing messages.
+func TestQueueMoveToIntoSlabRing(t *testing.T) {
+	backing := make([]Message, slabInCap)
+	dst := &queue{buf: backing[:slabInCap:slabInCap]}
+	dst.push(&msgBufPool, Message{A: 500})
+
+	src := fillWrapped(t, 16, 11, 9, 100)
+	src.moveTo(&msgBufPool, dst, 9)
+
+	got := drainValues(dst)
+	want := []int64{500, 100, 101, 102, 103, 104, 105, 106, 107, 108}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// The slab carve must not have been handed to the pool: growTo
+	// replaced it, and put rejects sub-minPoolCap rings.
+	if cap(backing) != slabInCap {
+		t.Fatalf("slab backing mutated")
+	}
+}

@@ -8,6 +8,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -57,6 +58,16 @@ type Config struct {
 	// executes concurrently (congest.Options.Workers). Zero wakes every
 	// scheduled node at once; results are identical either way.
 	Workers int
+	// DeliveryShards partitions the runtime's delivery phase over this
+	// many worker goroutines (congest.Options.DeliveryShards). Zero
+	// delivers serially; results are identical either way.
+	DeliveryShards int
+}
+
+// engineOpts assembles the congest options for one run with the given
+// seed.
+func (c Config) engineOpts(seed int64) congest.Options {
+	return congest.Options{Seed: seed, Workers: c.Workers, DeliveryShards: c.DeliveryShards}
 }
 
 func (c Config) seed() int64 {
@@ -66,29 +77,56 @@ func (c Config) seed() int64 {
 	return c.Seed
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment and returns the tables in their
+// fixed E1..E9 order. The experiments are mutually independent (each
+// builds its own graphs and engines from cfg's seed), so they run
+// concurrently on a worker pool bounded by GOMAXPROCS; the result order
+// — and every table's contents — is deterministic regardless of how the
+// pool schedules them.
 func RunAll(cfg Config) []*Table {
-	return []*Table{
-		E1Correctness(cfg),
-		E2Scaling(cfg),
-		E3Exact(cfg),
-		E4Approx(cfg),
-		E5Baselines(cfg),
-		E6Diameter(cfg),
-		E7Packing(cfg),
-		E8Figure1(cfg),
-		E9Ablation(cfg),
+	experiments := []func(Config) *Table{
+		E1Correctness,
+		E2Scaling,
+		E3Exact,
+		E4Approx,
+		E5Baselines,
+		E6Diameter,
+		E7Packing,
+		E8Figure1,
+		E9Ablation,
 	}
+	tables := make([]*Table, len(experiments))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(experiments) {
+		workers = len(experiments)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				tables[i] = experiments[i](cfg)
+			}
+		}()
+	}
+	for i := range experiments {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return tables
 }
 
 // pipelineOnce runs BFS + distributed MST + Theorem 2.1 once and
 // returns the run stats, the best 1-respecting cut, and the per-node
 // parents (for oracle verification).
-func pipelineOnce(g *graph.Graph, seed int64, workers int) (*congest.Stats, int64, []graph.NodeID, error) {
+func pipelineOnce(g *graph.Graph, seed int64, cfg Config) (*congest.Stats, int64, []graph.NodeID, error) {
 	var mu sync.Mutex
 	parents := make([]graph.NodeID, g.N())
 	var best int64
-	stats, err := congest.Run(g, congest.Options{Seed: seed, Workers: workers}, func(nd *congest.Node) {
+	stats, err := congest.Run(g, cfg.engineOpts(seed), func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		res := mst.Run(nd, bfs, nil, 0, 100)
 		out := respect.Run(nd, respect.FromMST(res, bfs), 100+mst.TagSpan)
@@ -109,9 +147,9 @@ func pipelineOnce(g *graph.Graph, seed int64, workers int) (*congest.Stats, int6
 
 // runPipelineCollect runs the Theorem 2.1 pipeline and hands every
 // node's C(v↓) to fn (called under a lock).
-func runPipelineCollect(g *graph.Graph, seed int64, workers int, fn func(v graph.NodeID, cut int64)) error {
+func runPipelineCollect(g *graph.Graph, seed int64, cfg Config, fn func(v graph.NodeID, cut int64)) error {
 	var mu sync.Mutex
-	_, err := congest.Run(g, congest.Options{Seed: seed, Workers: workers}, func(nd *congest.Node) {
+	_, err := congest.Run(g, cfg.engineOpts(seed), func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		res := mst.Run(nd, bfs, nil, 0, 100)
 		out := respect.Run(nd, respect.FromMST(res, bfs), 100+mst.TagSpan)
