@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short vet fmt-check bench bench-gate ci
+.PHONY: build test test-short vet fmt-check bench bench-service bench-gate ci
 
 build:
 	$(GO) build ./...
@@ -28,12 +28,23 @@ fmt-check:
 # seconds and exists to prove the scale, not to average).
 # No pipe here: a panicking benchmark must fail the target, and `go
 # test | tee` would hide its exit status under sh (no pipefail).
-bench:
+bench: bench-service
 	$(GO) test ./internal/congest -run '^$$' -bench 'BenchmarkEngine(Path|Expander|Community)' -benchmem -count 3 > BENCH_engine.txt
 	$(GO) test ./internal/congest -run '^$$' -bench BenchmarkEngineMillion -benchmem -benchtime 1x -count 1 >> BENCH_engine.txt
 	@cat BENCH_engine.txt
 	$(GO) run ./cmd/benchjson < BENCH_engine.txt > BENCH_engine.json
 	@echo "wrote BENCH_engine.json"
+
+# bench-service runs a short closed-loop load against a self-hosted
+# in-process mincutd (cmd/loadgen with no -addr) and renders the
+# latency/throughput/cache report as BENCH_service.json. The corpus
+# wraps around the canned harness request mix, so the run exercises the
+# content-addressed cache exactly as repeat production traffic would.
+bench-service:
+	$(GO) run ./cmd/loadgen -conc 8 -requests 128 -corpus quick -bench > BENCH_service.txt
+	@cat BENCH_service.txt
+	$(GO) run ./cmd/benchjson < BENCH_service.txt > BENCH_service.json
+	@echo "wrote BENCH_service.json"
 
 # bench-gate re-runs the benchmarks and fails if ns/op or allocs/op on
 # the expander benchmarks regressed more than 20% against the baseline

@@ -1,0 +1,271 @@
+// Command loadgen drives mincutd with a closed-loop workload and
+// reports latency and throughput. Each of -conc workers submits a job
+// from the canned request corpus (the experiment harness families),
+// polls it to completion, records the end-to-end latency, and
+// immediately submits the next — so offered load adapts to service
+// capacity, the standard closed-loop model.
+//
+// With no -addr, loadgen self-hosts: it starts an in-process service
+// behind a real HTTP listener and drives that, which is what `make
+// bench-service` uses to produce BENCH_service.json without
+// coordinating background processes.
+//
+// With -bench, stdout carries `go test -bench`-format lines that
+// cmd/benchjson converts to JSON:
+//
+//	loadgen -conc 8 -requests 128 -bench | benchjson > BENCH_service.json
+//
+// The human-readable report always goes to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distmincut/internal/harness"
+	"distmincut/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type options struct {
+	addr     string
+	conc     int
+	requests int
+	corpus   string
+	poll     time.Duration
+	timeout  time.Duration
+	bench    bool
+	pool     int
+	queue    int
+}
+
+func run() int {
+	var o options
+	flag.StringVar(&o.addr, "addr", "", "mincutd base URL (empty = self-host an in-process service)")
+	flag.IntVar(&o.conc, "conc", 8, "concurrent closed-loop clients")
+	flag.IntVar(&o.requests, "requests", 64, "total requests to issue")
+	flag.StringVar(&o.corpus, "corpus", "quick", "request mix: quick | full")
+	flag.DurationVar(&o.poll, "poll", 2*time.Millisecond, "job poll interval")
+	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "per-job completion timeout")
+	flag.BoolVar(&o.bench, "bench", false, "emit go-bench-format lines on stdout for benchjson")
+	flag.IntVar(&o.pool, "pool", 0, "self-hosted service pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queue, "queue", 256, "self-hosted service queue depth")
+	flag.Parse()
+
+	var corpus []service.JobRequest
+	switch o.corpus {
+	case "quick":
+		corpus = harness.ServiceCorpus(true)
+	case "full":
+		corpus = harness.ServiceCorpus(false)
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown corpus %q\n", o.corpus)
+		return 2
+	}
+
+	base := o.addr
+	if base == "" {
+		svc := service.New(service.Options{PoolSize: o.pool, QueueDepth: o.queue})
+		ts := httptest.NewServer(service.NewAPI(svc).Handler())
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			_ = svc.Shutdown(ctx)
+		}()
+		base = ts.URL
+		fmt.Fprintf(os.Stderr, "loadgen: self-hosting service at %s (pool %d)\n", base, o.pool)
+	}
+	base = strings.TrimRight(base, "/")
+
+	res := drive(base, corpus, o)
+	report(os.Stderr, res, o)
+	if o.bench {
+		emitBench(os.Stdout, res, o)
+	}
+	if res.failed > 0 || res.completed == 0 {
+		return 1
+	}
+	return 0
+}
+
+type outcome struct {
+	latencies []time.Duration // sorted ascending by drive
+	mean      time.Duration
+	completed int
+	failed    int
+	hits      int64
+	wall      time.Duration
+	metrics   service.Metrics
+}
+
+// drive runs the closed loop and gathers per-request latencies.
+func drive(base string, corpus []service.JobRequest, o options) *outcome {
+	client := &http.Client{Timeout: time.Minute}
+	var next atomic.Int64
+	var hits atomic.Int64
+	lats := make([]time.Duration, o.requests)
+	fails := make([]bool, o.requests)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < o.conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.requests {
+					return
+				}
+				req := corpus[i%len(corpus)]
+				lat, hit, err := oneRequest(client, base, req, o)
+				lats[i] = lat
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", i, err)
+					fails[i] = true
+					continue
+				}
+				if hit {
+					hits.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res := &outcome{wall: time.Since(start), hits: hits.Load()}
+	for i := 0; i < o.requests; i++ {
+		if fails[i] {
+			res.failed++
+		} else {
+			res.completed++
+			res.latencies = append(res.latencies, lats[i])
+		}
+	}
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	var sum time.Duration
+	for _, l := range res.latencies {
+		sum += l
+	}
+	if res.completed > 0 {
+		res.mean = sum / time.Duration(res.completed)
+	}
+	if resp, err := client.Get(base + "/metrics"); err == nil {
+		_ = json.NewDecoder(resp.Body).Decode(&res.metrics)
+		resp.Body.Close()
+	}
+	return res
+}
+
+// oneRequest submits one job and waits for a terminal state, retrying
+// 503s (queue full) with backoff — in a closed loop that is the
+// signal to slow down, not an error.
+func oneRequest(client *http.Client, base string, req service.JobRequest, o options) (time.Duration, bool, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, false, err
+	}
+	start := time.Now()
+	var view service.JobView
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return 0, false, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if time.Since(start) > o.timeout {
+				return 0, false, fmt.Errorf("queue full for %s", o.timeout)
+			}
+			time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return 0, false, fmt.Errorf("submit: status %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &view); err != nil {
+			return 0, false, err
+		}
+		break
+	}
+	hit := view.CacheHit
+	deadline := time.Now().Add(o.timeout)
+	for view.State != service.StateDone {
+		if view.State == service.StateFailed || view.State == service.StateCanceled {
+			return 0, hit, fmt.Errorf("job %s: %s (%s)", view.ID, view.State, view.Error)
+		}
+		if time.Now().After(deadline) {
+			return 0, hit, fmt.Errorf("job %s: timeout in state %s", view.ID, view.State)
+		}
+		time.Sleep(o.poll)
+		resp, err := client.Get(base + "/v1/jobs/" + view.ID)
+		if err != nil {
+			return 0, hit, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return 0, hit, err
+		}
+	}
+	return time.Since(start), hit, nil
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func report(w io.Writer, res *outcome, o options) {
+	fmt.Fprintf(w, "\nloadgen report (corpus %s, conc %d)\n", o.corpus, o.conc)
+	fmt.Fprintf(w, "  requests:   %d completed, %d failed in %s\n", res.completed, res.failed, res.wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "  throughput: %.1f jobs/s\n", float64(res.completed)/res.wall.Seconds())
+	fmt.Fprintf(w, "  latency:    mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
+		res.mean.Round(time.Microsecond),
+		percentile(res.latencies, 0.50).Round(time.Microsecond),
+		percentile(res.latencies, 0.95).Round(time.Microsecond),
+		percentile(res.latencies, 0.99).Round(time.Microsecond),
+		percentile(res.latencies, 1.0).Round(time.Microsecond))
+	fmt.Fprintf(w, "  cache:      %d hits at submit (%.0f%% of requests)\n",
+		res.hits, 100*float64(res.hits)/float64(max(1, res.completed)))
+	m := res.metrics
+	fmt.Fprintf(w, "  server:     hit rate %.2f, %d protocol runs, %.0f rounds/s, %d coalesced\n",
+		m.CacheHitRate, m.Completed, m.RoundsPerSec, m.Coalesced)
+}
+
+// emitBench renders the outcome as one `go test -bench`-style line per
+// metric family, consumable by cmd/benchjson.
+func emitBench(w io.Writer, res *outcome, o options) {
+	if res.completed == 0 {
+		return
+	}
+	fmt.Fprintf(w, "goos: %s\n", runtime.GOOS)
+	fmt.Fprintf(w, "goarch: %s\n", runtime.GOARCH)
+	fmt.Fprintf(w, "pkg: distmincut/cmd/loadgen\n")
+	fmt.Fprintf(w, "BenchmarkServiceLoadgen/corpus=%s/conc=%d \t %d \t %d ns/op \t %.2f jobs/s \t %.3f hit-ratio \t %d p50-ns \t %d p95-ns \t %d p99-ns \t %.1f rounds/s\n",
+		o.corpus, o.conc, res.completed, res.mean.Nanoseconds(),
+		float64(res.completed)/res.wall.Seconds(),
+		res.metrics.CacheHitRate,
+		percentile(res.latencies, 0.50).Nanoseconds(),
+		percentile(res.latencies, 0.95).Nanoseconds(),
+		percentile(res.latencies, 0.99).Nanoseconds(),
+		res.metrics.RoundsPerSec)
+}

@@ -1,0 +1,105 @@
+// Command mincutd serves distributed min-cut computations over
+// HTTP/JSON: a bounded worker pool runs the CONGEST protocols, a
+// content-addressed cache serves repeat submissions without
+// recomputing, and jobs are cancellable while the protocol runs.
+//
+// Usage:
+//
+//	mincutd [-addr :8371] [-pool 4] [-queue 256] [-cache 4096]
+//	        [-engine-workers 0] [-shards 0] [-checkpayload]
+//	        [-max-nodes 200000] [-max-edges 2000000] [-drain 30s]
+//
+// Endpoints:
+//
+//	POST   /v1/jobs           submit a job (generator spec or edge list)
+//	GET    /v1/jobs/{id}      poll state, progress, result
+//	DELETE /v1/jobs/{id}      cancel
+//	GET    /v1/results/{key}  fetch a result by content address
+//	GET    /healthz           liveness
+//	GET    /metrics           queue depth, cache hit rate, rounds/sec
+//
+// Example session:
+//
+//	curl -s localhost:8371/v1/jobs -d \
+//	  '{"graph":{"family":"planted","n1":24,"n2":24,"k":3,"in_p":0.4,"seed":7}}'
+//	curl -s localhost:8371/v1/jobs/j1
+//	curl -s localhost:8371/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"distmincut/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8371", "listen address")
+	pool := flag.Int("pool", 0, "concurrent protocol runs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "max queued jobs before 503")
+	cacheEntries := flag.Int("cache", 4096, "result cache entries")
+	engineWorkers := flag.Int("engine-workers", 0, "CONGEST runtime worker lanes per run (0 = unbounded)")
+	shards := flag.Int("shards", 0, "CONGEST delivery shards per run (0 = serial)")
+	checkPayload := flag.Bool("checkpayload", false, "enable the runtime payload-overflow guard on every run")
+	maxNodes := flag.Int("max-nodes", 0, "max nodes per accepted graph (0 = default)")
+	maxEdges := flag.Int("max-edges", 0, "max edges per accepted graph (0 = default)")
+	maxBody := flag.Int64("max-body", 0, "max submit body bytes (0 = default)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		PoolSize:       *pool,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		Limits:         service.Limits{MaxNodes: *maxNodes, MaxEdges: *maxEdges},
+		EngineWorkers:  *engineWorkers,
+		DeliveryShards: *shards,
+		CheckPayload:   *checkPayload,
+	})
+	api := service.NewAPI(svc)
+	api.MaxBody = *maxBody
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           api.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mincutd: listening on %s\n", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "mincutd:", err)
+		return 1
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "mincutd: %v, draining (budget %s)\n", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	_ = server.Shutdown(ctx)
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mincutd: drain incomplete, running jobs canceled:", err)
+		return 1
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "mincutd:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "mincutd: drained cleanly")
+	return 0
+}

@@ -24,6 +24,7 @@
 package distmincut
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -73,6 +74,16 @@ type Options struct {
 	// congest.Options.DeliveryShards). Zero delivers serially. Results
 	// are identical either way.
 	DeliveryShards int
+	// Progress, when non-nil, is updated by the runtime at every round
+	// boundary with the rounds completed and messages delivered so far,
+	// so a concurrent observer (e.g. a job-status endpoint) can sample
+	// a running computation. See congest.Progress.
+	Progress *congest.Progress
+	// CheckPayload enables the runtime's payload-overflow guard: any
+	// message staged with a payload word outside ±2^62 fails the run
+	// loudly instead of corrupting the protocol. See
+	// congest.Options.CheckPayload.
+	CheckPayload bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -122,6 +133,34 @@ type Result struct {
 	Stats    *congest.Stats
 }
 
+// engineOpts assembles the runtime options for one run. ctx.Done()
+// becomes the runtime's interrupt channel (nil for contexts that can
+// never be canceled, which keeps the uncancellable path free).
+func (o Options) engineOpts(ctx context.Context) congest.Options {
+	return congest.Options{
+		Seed:           o.Seed,
+		Unbounded:      o.Unbounded,
+		MaxRounds:      o.MaxRounds,
+		Workers:        o.Workers,
+		DeliveryShards: o.DeliveryShards,
+		Interrupt:      ctx.Done(),
+		Progress:       o.Progress,
+		CheckPayload:   o.CheckPayload,
+	}
+}
+
+// ctxErr maps a runtime interrupt caused by ctx back to the context's
+// own error (context.Canceled or context.DeadlineExceeded), so callers
+// can errors.Is against the standard sentinels.
+func ctxErr(ctx context.Context, err error) error {
+	if err != nil && errors.Is(err, congest.ErrInterrupted) {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("distmincut: run canceled: %w", cerr)
+		}
+	}
+	return err
+}
+
 // collector gathers per-node outputs under a lock.
 type collector struct {
 	mu    sync.Mutex
@@ -157,13 +196,20 @@ func validate(g *graph.Graph) error {
 // beyond Options.MaxLambda the result carries Exact=false; use
 // ApproxMinCut there.
 func MinCut(g *graph.Graph, opts *Options) (*Result, error) {
+	return MinCutContext(context.Background(), g, opts)
+}
+
+// MinCutContext is MinCut with cancellation: when ctx is canceled the
+// distributed run aborts at the next round boundary and the error wraps
+// ctx.Err(). A run that completes is unaffected by a later cancel.
+func MinCutContext(ctx context.Context, g *graph.Graph, opts *Options) (*Result, error) {
 	if err := validate(g); err != nil {
 		return nil, err
 	}
 	o := opts.withDefaults()
 	col := &collector{sides: make([]bool, g.N()), packs: make([]*packing.Result, g.N())}
 	exactAll := true
-	stats, err := congest.Run(g, congest.Options{Seed: o.Seed, Unbounded: o.Unbounded, MaxRounds: o.MaxRounds, Workers: o.Workers, DeliveryShards: o.DeliveryShards}, func(nd *congest.Node) {
+	stats, err := congest.Run(g, o.engineOpts(ctx), func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		res, exact := packing.ExactDoubling(nd, bfs, o.TauPolicy, o.MaxLambda,
 			packing.Options{SizeCap: o.SizeCap}, 1000)
@@ -179,7 +225,7 @@ func MinCut(g *graph.Graph, opts *Options) (*Result, error) {
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, ctxErr(ctx, err)
 	}
 	p := col.packs[0]
 	return &Result{
@@ -200,13 +246,19 @@ func MinCut(g *graph.Graph, opts *Options) (*Result, error) {
 // above it for MST trees under Thorup packing's first tree); every
 // node also learns C(v↓) — the PerNode slice reports them.
 func OneRespectingCut(g *graph.Graph, opts *Options) (*Result, []int64, error) {
+	return OneRespectingCutContext(context.Background(), g, opts)
+}
+
+// OneRespectingCutContext is OneRespectingCut with cancellation; see
+// MinCutContext for the contract.
+func OneRespectingCutContext(ctx context.Context, g *graph.Graph, opts *Options) (*Result, []int64, error) {
 	if err := validate(g); err != nil {
 		return nil, nil, err
 	}
 	o := opts.withDefaults()
 	col := &collector{sides: make([]bool, g.N()), packs: make([]*packing.Result, g.N())}
 	perNode := make([]int64, g.N())
-	stats, err := congest.Run(g, congest.Options{Seed: o.Seed, Unbounded: o.Unbounded, MaxRounds: o.MaxRounds, Workers: o.Workers, DeliveryShards: o.DeliveryShards}, func(nd *congest.Node) {
+	stats, err := congest.Run(g, o.engineOpts(ctx), func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		loads := make(map[int]int64, nd.Degree())
 		res := packing.Pack(nd, bfs, 1, loads, packing.Options{SizeCap: o.SizeCap}, 1000, nil)
@@ -218,7 +270,7 @@ func OneRespectingCut(g *graph.Graph, opts *Options) (*Result, []int64, error) {
 		perNode[nd.ID()] = res.BestOutput.CutBelow
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, ctxErr(ctx, err)
 	}
 	p := col.packs[0]
 	return &Result{
@@ -240,18 +292,24 @@ func OneRespectingCut(g *graph.Graph, opts *Options) (*Result, []int64, error) {
 // weight in the original graph. If the graph's own cut is already
 // below κ the answer is exact.
 func ApproxMinCut(g *graph.Graph, opts *Options) (*Result, error) {
+	return ApproxMinCutContext(context.Background(), g, opts)
+}
+
+// ApproxMinCutContext is ApproxMinCut with cancellation; see
+// MinCutContext for the contract.
+func ApproxMinCutContext(ctx context.Context, g *graph.Graph, opts *Options) (*Result, error) {
 	if err := validate(g); err != nil {
 		return nil, err
 	}
 	o := opts.withDefaults()
 	kappa := sampling.Kappa(o.Epsilon, g.N())
 	col := &collector{sides: make([]bool, g.N()), packs: make([]*packing.Result, g.N()), extra: map[string]int64{}}
-	stats, err := congest.Run(g, congest.Options{Seed: o.Seed, Unbounded: o.Unbounded, MaxRounds: o.MaxRounds, Workers: o.Workers, DeliveryShards: o.DeliveryShards}, func(nd *congest.Node) {
+	stats, err := congest.Run(g, o.engineOpts(ctx), func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		approxProgram(nd, bfs, g, kappa, o, col)
 	})
 	if err != nil {
-		return nil, err
+		return nil, ctxErr(ctx, err)
 	}
 	p := col.packs[0]
 	return &Result{

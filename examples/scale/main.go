@@ -66,10 +66,10 @@ func main() {
 		}
 		run(fmt.Sprintf("regular n=%dk d=8", n/1000), graph.RandomRegular(n, 8, *seed))
 	}
-	// Sparse G(n, 8/n): expected m ≈ 4n with skewed degrees. Capped at
-	// 100k nodes — the generator samples all n² pairs, so beyond this
-	// graph construction (not simulation) dominates the sweep.
-	for _, n := range []int{25_000, 100_000} {
+	// Sparse G(n, 8/n): expected m ≈ 4n with skewed degrees. The
+	// geometric skip sampler generates these in O(n + m), so the arm
+	// sweeps to a million edges like the regular one.
+	for _, n := range []int{25_000, 100_000, 250_000} {
 		if 4*n > *maxEdges {
 			break
 		}

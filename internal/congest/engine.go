@@ -40,6 +40,26 @@ type Options struct {
 	// are bit-identical to serial delivery for a given seed. Zero or
 	// one delivers serially on the coordinator goroutine.
 	DeliveryShards int
+	// Interrupt, when non-nil, makes the run abort with ErrInterrupted
+	// as soon as the channel is closed (or receives a value). The
+	// coordinator polls it once per round boundary, while every node is
+	// parked, so the abort is clean: all node goroutines unwind and the
+	// partial Stats are returned alongside the error. This is the
+	// mechanism behind the context-cancellable distmincut entry points.
+	Interrupt <-chan struct{}
+	// Progress, when non-nil, is updated at every round boundary with
+	// the current round number and cumulative delivered-message count,
+	// so concurrent observers (e.g. a job-status endpoint) can sample a
+	// running simulation without synchronizing with it.
+	Progress *Progress
+	// CheckPayload, when set, makes Send fail loudly (a panic that
+	// surfaces as a PanicError from Run) whenever a staged message
+	// carries a payload word outside [-PayloadLimit, PayloadLimit].
+	// Messages are nominally O(log n) bits, but the words are int64 and
+	// several protocols pack multiple quantities into one word; a value
+	// near the int64 range almost always means a packing overflowed.
+	// Off by default (it adds a branch to the Send fast path).
+	CheckPayload bool
 }
 
 // DefaultMaxRounds is the default safety cap on simulated rounds.
@@ -51,6 +71,10 @@ var ErrDeadlock = errors.New("congest: deadlock")
 
 // ErrMaxRounds is returned when the round cap is exceeded.
 var ErrMaxRounds = errors.New("congest: exceeded MaxRounds")
+
+// ErrInterrupted is returned when Options.Interrupt fired and the run
+// aborted at a round boundary.
+var ErrInterrupted = errors.New("congest: run interrupted")
 
 // PanicError wraps a panic raised by a node program.
 type PanicError struct {
@@ -494,6 +518,14 @@ func (e *Engine) coordinate() (*Stats, error) {
 		if firstPanic != nil {
 			return e.abort(firstPanic)
 		}
+		// Every node is parked here, so an interrupt abort is clean.
+		if ch := e.opts.Interrupt; ch != nil {
+			select {
+			case <-ch:
+				return e.abort(ErrInterrupted)
+			default:
+			}
+		}
 		e.mergeSenders()
 		if done == n && e.senderCount == 0 {
 			return e.stats(), nil
@@ -513,6 +545,10 @@ func (e *Engine) coordinate() (*Stats, error) {
 			return e.abort(fmt.Errorf("%w (%d)", ErrMaxRounds, e.opts.MaxRounds))
 		}
 		e.deliver()
+		if pg := e.opts.Progress; pg != nil {
+			pg.round.Store(int64(e.round))
+			pg.delivered.Store(e.delivered)
+		}
 		e.buildWakeSet()
 		e.wakeups += int64(len(e.wake))
 	}

@@ -84,6 +84,18 @@ type Message struct {
 // for bit accounting in Stats.
 const PayloadWords = 4
 
+// PayloadLimit bounds the magnitude of each payload word when
+// Options.CheckPayload is set. The repository's packing convention is
+// at most two 31-bit fields per word (IDs < n ≤ 2^31, weights and loads
+// < 2^31 per distmincut.MaxWeight), optionally with one flag carried in
+// the sign — so every legitimate word has magnitude at most 2^62. A
+// word beyond that almost always means a protocol's packing arithmetic
+// overflowed, which the guard turns into an immediate, attributed
+// failure instead of a silently wrong cut. The two exact extremes
+// math.MaxInt64 and math.MinInt64 are exempt: protocols use them as
+// "∞ / none" sentinels (an O(1)-bit symbol, not a counted quantity).
+const PayloadLimit = int64(1) << 62
+
 // MatchFunc decides whether a buffered or newly delivered message
 // satisfies a pending Recv. It must be a pure function of its arguments:
 // the coordinator evaluates it while the owning node is parked.

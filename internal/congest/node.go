@@ -98,6 +98,9 @@ func (nd *Node) Send(p int, m Message) {
 	if p < 0 || p >= len(nd.adj) {
 		panic(fmt.Sprintf("congest: node %d Send on invalid port %d (degree %d)", nd.id, p, len(nd.adj)))
 	}
+	if nd.eng.opts.CheckPayload {
+		nd.checkPayload(p, m)
+	}
 	if !nd.outDirty {
 		nd.outDirty = true
 		nd.eng.addSender(nd)
@@ -113,6 +116,22 @@ func (nd *Node) Send(p int, m Message) {
 		q.push(&msgBufPool, m)
 	}
 	nd.sent++
+}
+
+// checkPayload enforces Options.CheckPayload: every payload word must
+// lie within [-PayloadLimit, PayloadLimit] or be one of the two exact
+// extreme sentinels (math.MaxInt64 / math.MinInt64, which protocols use
+// as "∞ / none" markers). Out of line so the Send fast path stays
+// small.
+func (nd *Node) checkPayload(p int, m Message) {
+	const maxInt64 = int64(^uint64(0) >> 1)
+	for i, w := range [PayloadWords]int64{m.A, m.B, m.C, m.D} {
+		if (w > PayloadLimit || w < -PayloadLimit) && w != maxInt64 && w != -maxInt64-1 {
+			panic(fmt.Sprintf(
+				"congest: node %d Send on port %d: payload word %c = %d exceeds ±2^62 (kind %d tag %d) — packing overflow?",
+				nd.id, p, 'A'+i, w, m.Kind, m.Tag))
+		}
+	}
 }
 
 // SendAll stages the same message on every port.

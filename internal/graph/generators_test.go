@@ -259,3 +259,99 @@ func TestComponentsCount(t *testing.T) {
 		t.Fatalf("Components = %d, want 4", k)
 	}
 }
+
+// TestGNPSeedCompat pins the edge set GNP produces for a fixed seed
+// under the geometric-skip sampler introduced with the mincutd service
+// PR. The skip sampler consumes one RNG draw per sampled *edge* instead
+// of one per *pair*, so the stream — and hence the graph for a given
+// seed — intentionally differs from the original O(n²) implementation.
+// This golden test documents the new stream: if it ever fails, the RNG
+// contract of every seeded workload built on GNP has changed.
+func TestGNPSeedCompat(t *testing.T) {
+	g := GNP(16, 0.3, 5)
+	want := [][2]NodeID{
+		{1, 3}, {1, 4}, {3, 6}, {0, 7}, {2, 7}, {6, 7}, {1, 8}, {7, 8},
+		{0, 9}, {6, 10}, {7, 10}, {0, 11}, {3, 11}, {4, 11}, {6, 11},
+		{7, 11}, {10, 11}, {1, 12}, {2, 12}, {6, 12}, {7, 12}, {11, 12},
+		{3, 13}, {1, 14}, {12, 14}, {3, 15}, {5, 15}, {9, 15}, {13, 15},
+	}
+	if g.M() != len(want) {
+		t.Fatalf("GNP(16, 0.3, 5) has %d edges, want %d", g.M(), len(want))
+	}
+	for i, e := range g.Edges() {
+		if e.U != want[i][0] || e.V != want[i][1] {
+			t.Fatalf("edge %d = {%d,%d}, want {%d,%d}", i, e.U, e.V, want[i][0], want[i][1])
+		}
+	}
+}
+
+func TestGNPDeterministic(t *testing.T) {
+	a, b := GNP(64, 0.1, 42), GNP(64, 0.1, 42)
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	for i := range a.Edges() {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatalf("same seed, edge %d differs", i)
+		}
+	}
+}
+
+// TestGNPEdgeCountDistribution checks the skip sampler hits the
+// binomial expectation: over several seeds, the mean edge count of
+// G(n,p) must land near p·n(n-1)/2. connect() can only add edges, so
+// the count is measured before augmentation via a p high enough that
+// samples are connected already.
+func TestGNPEdgeCountDistribution(t *testing.T) {
+	const n, p, seeds = 200, 0.1, 30
+	exp := p * float64(n) * float64(n-1) / 2 // 1990
+	var sum float64
+	for s := int64(0); s < seeds; s++ {
+		sum += float64(GNP(n, p, s).M())
+	}
+	mean := sum / seeds
+	// std of one sample ≈ sqrt(N·p(1-p)) ≈ 42.3; the mean of 30 has
+	// std ≈ 7.7, so ±5% (≈100) is a > 12σ budget: effectively only a
+	// broken sampler fails.
+	if mean < 0.95*exp || mean > 1.05*exp {
+		t.Fatalf("mean edge count %.1f over %d seeds, want ≈ %.1f", mean, seeds, exp)
+	}
+}
+
+func TestGNPExtremes(t *testing.T) {
+	// p = 0: sampling adds nothing, connect() must still produce a
+	// connected graph (a random spanning structure).
+	g := GNP(40, 0, 9)
+	if !IsConnected(g) {
+		t.Fatal("GNP(n, 0) not connected")
+	}
+	if g.M() < 39 {
+		t.Fatalf("GNP(n, 0) has %d edges, want at least a spanning structure", g.M())
+	}
+	// p = 1: the complete graph, exactly.
+	k := GNP(12, 1, 3)
+	if k.M() != 12*11/2 {
+		t.Fatalf("GNP(n, 1) has %d edges, want %d", k.M(), 12*11/2)
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGNPLargeSparse is the scale gate for the geometric skip sampler:
+// a 100k-node sparse sample must be generated in well under a second
+// (the old per-pair loop would need 5·10^9 draws here).
+func TestGNPLargeSparse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale workload")
+	}
+	const n = 100_000
+	g := GNP(n, 8/float64(n), 11)
+	if !IsConnected(g) {
+		t.Fatal("not connected")
+	}
+	exp := 8 * float64(n) / 2
+	if m := float64(g.M()); m < 0.9*exp || m > 1.2*exp {
+		t.Fatalf("m = %.0f, want ≈ %.0f", m, exp)
+	}
+}

@@ -1,0 +1,48 @@
+package harness
+
+import "distmincut/internal/service"
+
+// ServiceCorpus returns a canned request mix for the min-cut service,
+// reusing the experiment suite's workload families (the same planted,
+// G(n,p), torus, clique-path, and hypercube instances E1–E6 measure)
+// as service job specs. cmd/loadgen cycles through it as its request
+// stream and the CI smoke test submits from it; the quick variant
+// shrinks every instance so a full pass stays in benchmark budgets.
+//
+// The mix is deliberately cache-friendly: a loadgen pass that wraps
+// around the corpus hits the content-addressed cache on every repeat,
+// which is the service's intended production profile (identical
+// (graph, params, seed) requests are deterministic).
+func ServiceCorpus(quick bool) []service.JobRequest {
+	if quick {
+		return []service.JobRequest{
+			{Graph: service.GraphSpec{Family: "planted", N1: 16, N2: 16, K: 2, InP: 0.5, Seed: 1}, Mode: "exact"},
+			{Graph: service.GraphSpec{Family: "planted", N1: 12, N2: 20, K: 3, InP: 0.5, Seed: 2}, Mode: "respect"},
+			{Graph: service.GraphSpec{Family: "gnp", N: 64, P: 0.08, Seed: 1}, Mode: "respect"},
+			{Graph: service.GraphSpec{Family: "gnp", N: 48, P: 0.15, Seed: 2,
+				Weights: &service.WeightSpec{Lo: 1, Hi: 50, Seed: 3}}, Mode: "respect"},
+			{Graph: service.GraphSpec{Family: "torus", Rows: 6, Cols: 7}, Mode: "respect"},
+			{Graph: service.GraphSpec{Family: "cliquepath", Cliques: 4, CliqueSize: 8, Bridge: 2}, Mode: "respect"},
+			{Graph: service.GraphSpec{Family: "hypercube", Dim: 6}, Mode: "respect"},
+			{Graph: service.GraphSpec{Family: "cycle", N: 96}, Mode: "respect"},
+		}
+	}
+	return []service.JobRequest{
+		// E1 correctness families at experiment scale.
+		{Graph: service.GraphSpec{Family: "planted", N1: 24, N2: 24, K: 3, InP: 0.4, Seed: 1}, Mode: "exact"},
+		{Graph: service.GraphSpec{Family: "gnp", N: 64, P: 0.08, Seed: 1}, Mode: "exact"},
+		{Graph: service.GraphSpec{Family: "gnp", N: 48, P: 0.15, Seed: 2,
+			Weights: &service.WeightSpec{Lo: 1, Hi: 50, Seed: 3}}, Mode: "exact"},
+		{Graph: service.GraphSpec{Family: "torus", Rows: 6, Cols: 7}, Mode: "exact"},
+		{Graph: service.GraphSpec{Family: "cliquepath", Cliques: 4, CliqueSize: 8, Bridge: 2}, Mode: "exact"},
+		{Graph: service.GraphSpec{Family: "hypercube", Dim: 6}, Mode: "exact"},
+		// E2 scaling shapes under the cheap single-tree bound.
+		{Graph: service.GraphSpec{Family: "torus", Rows: 16, Cols: 16}, Mode: "respect"},
+		{Graph: service.GraphSpec{Family: "gnp", N: 512, P: 8.0 / 512, Seed: 4}, Mode: "respect"},
+		{Graph: service.GraphSpec{Family: "cycle", N: 1024}, Mode: "respect"},
+		// E4-style (1+ε) approximations.
+		{Graph: service.GraphSpec{Family: "planted", N1: 32, N2: 32, K: 4, InP: 0.3, Seed: 5}, Mode: "approx", Epsilon: 0.5},
+		{Graph: service.GraphSpec{Family: "gnp", N: 96, P: 0.1, Seed: 6}, Mode: "approx", Epsilon: 0.25},
+		{Graph: service.GraphSpec{Family: "random_regular", N: 64, Degree: 8, Seed: 7}, Mode: "respect"},
+	}
+}

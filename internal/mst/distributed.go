@@ -385,23 +385,26 @@ func (r *runner) part2(st *p1state) []InterEdge {
 
 		// Fragment MOE w.r.t. logical IDs. The packed endpoints are
 		// canonical (for key uniqueness and mutual-MOE dedup at the
-		// root), so a swap bit records whether the canonical U is the
+		// root), so a swap flag records whether the canonical U is the
 		// far endpoint — the root needs (U,V) aligned with
-		// (FragU,FragV) when it emits inter-fragment edges.
+		// (FragU,FragV) when it emits inter-fragment edges. The flag
+		// rides in D's sign (bitwise NOT of the 62-bit pack), keeping
+		// the word within the runtime's ±2^62 payload budget
+		// (congest.PayloadLimit).
 		cand := noneItem
 		for p := 0; p < nd.Degree(); p++ {
 			if peerLogical[p] == logical || r.w(p) <= 0 {
 				continue
 			}
-			swapped := int64(0)
+			d := peerLogical[p]<<31 | peerPhys[p]
 			if nd.ID() > nd.Peer(p) {
-				swapped = 1
+				d = ^d
 			}
 			it := proto.Item{
 				A: r.load(p),
 				B: r.w(p),
 				C: PackUV(nd.ID(), nd.Peer(p)),
-				D: swapped<<62 | peerLogical[p]<<31 | peerPhys[p],
+				D: d,
 			}
 			if isNone(cand) || betterCand(cand, it) == it {
 				cand = it
@@ -411,9 +414,10 @@ func (r *runner) part2(st *p1state) []InterEdge {
 
 		// Physical-fragment roots upcast their candidate to the BFS
 		// root as one packed item: A = load<<31|weight, B = packed
-		// endpoints, C = packed (myLogical, myPhys), D = packed (swap,
-		// targetLogical, targetPhys). Loads and weights stay below 2^31
-		// in every workload, so the packing is lossless.
+		// endpoints, C = packed (myLogical, myPhys), D = packed
+		// (targetLogical, targetPhys) with the swap flag in the sign.
+		// Loads and weights stay below 2^31 in every workload, so the
+		// packing is lossless.
 		var mine []proto.Item
 		if fragOv.Root && !isNone(moe) {
 			mine = []proto.Item{{
@@ -474,7 +478,9 @@ func mergeAtRoot(items []proto.Item, iter int) []proto.Item {
 	for _, it := range items {
 		uv := it.B
 		u, v := UnpackUV(uv)
-		if it.D>>62&1 == 1 {
+		d := it.D
+		if d < 0 {
+			d = ^d
 			u, v = v, u // align u with the proposing fragment
 		}
 		c := cand2{
@@ -483,8 +489,8 @@ func mergeAtRoot(items []proto.Item, iter int) []proto.Item {
 			v:             v,
 			myLogical:     it.C >> 31,
 			myPhys:        it.C & ((1 << 31) - 1),
-			targetLogical: it.D >> 31 & ((1 << 31) - 1),
-			targetPhys:    it.D & ((1 << 31) - 1),
+			targetLogical: d >> 31,
+			targetPhys:    d & ((1 << 31) - 1),
 		}
 		if cur, ok := best[c.myLogical]; !ok || c.key.Less(cur.key) {
 			best[c.myLogical] = c

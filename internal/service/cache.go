@@ -1,0 +1,79 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a bounded, content-addressed LRU mapping canonical request
+// keys to canonical result bytes. Entries are immutable: a key derived
+// from a deterministic computation has exactly one valid value, so
+// eviction is the only form of invalidation.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func newCache(maxEntries int) *cache {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	return &cache{
+		max:     maxEntries,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached bytes for key. count selects whether the
+// lookup moves the hit/miss counters — the submit path counts (it is
+// the cache-effectiveness signal), raw result fetches do not.
+func (c *cache) get(key string, count bool) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	if count {
+		if ok {
+			c.hits++
+		} else {
+			c.misses++
+		}
+	}
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *cache) put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el) // immutable value; refresh recency only
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *cache) stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// DefaultMaxBody bounds the request body accepted by the submit
+// endpoint (canonical edge uploads at the default limits fit well
+// within it).
+const DefaultMaxBody int64 = 64 << 20
+
+// API wraps a Service with its HTTP/JSON surface.
+//
+//	POST   /v1/jobs           submit a JobRequest
+//	GET    /v1/jobs/{id}      job state, progress, result when done
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	GET    /v1/results/{key}  canonical result bytes by content address
+//	GET    /healthz           liveness
+//	GET    /metrics           Metrics snapshot
+type API struct {
+	svc *Service
+	// MaxBody bounds the submit request body (DefaultMaxBody if 0).
+	MaxBody int64
+}
+
+// NewAPI wraps svc.
+func NewAPI(svc *Service) *API { return &API{svc: svc} }
+
+// Handler returns the API's route table.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", a.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleCancel)
+	mux.HandleFunc("GET /v1/results/{key}", a.handleResult)
+	mux.HandleFunc("GET /healthz", a.handleHealth)
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	maxBody := a.MaxBody
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBody
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: "request body exceeds limit"})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request: " + err.Error()})
+		return
+	}
+	view, err := a.svc.Submit(req)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrBadSpec):
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	status := http.StatusAccepted
+	if view.State == StateDone {
+		status = http.StatusOK // served from cache
+	}
+	writeJSON(w, status, view)
+}
+
+func (a *API) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := a.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (a *API) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, ok := a.svc.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (a *API) handleResult(w http.ResponseWriter, r *http.Request) {
+	data, ok := a.svc.ResultByKey(r.PathValue("key"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no result for key"})
+		return
+	}
+	// Content-addressed results are immutable: cache them hard.
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.svc.Metrics())
+}

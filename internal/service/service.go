@@ -1,0 +1,518 @@
+package service
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distmincut"
+	"distmincut/internal/congest"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// ErrBusy is returned by Submit when the job queue is full.
+var ErrBusy = errors.New("service: queue full")
+
+// ErrClosed is returned by Submit after Shutdown has begun.
+var ErrClosed = errors.New("service: shutting down")
+
+// Options configures a Service. The zero value is ready to use.
+type Options struct {
+	// PoolSize bounds how many jobs execute protocols concurrently
+	// (default GOMAXPROCS, at least 2).
+	PoolSize int
+	// QueueDepth bounds jobs accepted but not yet running (default
+	// 256). Submit returns ErrBusy beyond it.
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 4096).
+	CacheEntries int
+	// JobRetention bounds how many finished job records are kept for
+	// polling (default 4096). Beyond it the oldest finished records
+	// are dropped and their IDs answer 404; results stay reachable via
+	// the content-addressed cache. In-flight jobs are never dropped.
+	JobRetention int
+	// Limits bounds accepted specs (zero fields take DefaultLimits).
+	Limits Limits
+	// EngineWorkers and DeliveryShards are passed to every run
+	// (distmincut.Options); they never affect results, only speed.
+	EngineWorkers  int
+	DeliveryShards int
+	// CheckPayload enables the runtime's payload-overflow guard on
+	// every run.
+	CheckPayload bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = runtime.GOMAXPROCS(0)
+		if o.PoolSize < 2 {
+			o.PoolSize = 2
+		}
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 4096
+	}
+	if o.JobRetention <= 0 {
+		o.JobRetention = 4096
+	}
+	o.Limits = o.Limits.withDefaults()
+	return o
+}
+
+// Result is the canonical, cacheable outcome of one job. It contains
+// no timestamps or per-run incidentals: its JSON encoding is a pure
+// function of the canonical request, which is what makes cached bytes
+// reusable verbatim.
+type Result struct {
+	Key         string `json:"key"`
+	Mode        string `json:"mode"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	Value       int64  `json:"value"`
+	Exact       bool   `json:"exact"`
+	BestNode    int64  `json:"best_node"`
+	TreesPacked int    `json:"trees_packed"`
+	Levels      int    `json:"levels"`
+	Rounds      int    `json:"rounds"`
+	Messages    int64  `json:"messages"`
+	// SideIn is the size of the cut side marked true; Side is the full
+	// side assignment as a base64 bitset (node i = bit i%8 of byte
+	// i/8).
+	SideIn int    `json:"side_in"`
+	Side   string `json:"side"`
+}
+
+// job is the internal record; all mutable fields are guarded by the
+// service mutex except the progress gauge (atomic by construction).
+type job struct {
+	id       string
+	key      string
+	req      JobRequest
+	state    State
+	cacheHit bool
+	err      string
+	result   []byte
+	progress *congest.Progress
+	cancel   context.CancelFunc
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// JobView is an immutable snapshot of a job for API responses.
+type JobView struct {
+	ID       string `json:"job_id"`
+	Key      string `json:"key"`
+	State    State  `json:"state"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	// Rounds and Delivered report live protocol progress while the job
+	// runs and final totals once it is done.
+	Rounds    int64           `json:"rounds"`
+	Delivered int64           `json:"delivered"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	CreatedAt time.Time       `json:"created_at"`
+}
+
+// Metrics is a point-in-time snapshot of service health.
+type Metrics struct {
+	UptimeSec     float64 `json:"uptime_sec"`
+	PoolSize      int     `json:"pool_size"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Running       int     `json:"running"`
+	Submitted     int64   `json:"jobs_submitted"`
+	Completed     int64   `json:"jobs_completed"`
+	Failed        int64   `json:"jobs_failed"`
+	Canceled      int64   `json:"jobs_canceled"`
+	Coalesced     int64   `json:"jobs_coalesced"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	CacheEntries  int     `json:"cache_entries"`
+	// RoundsTotal sums the CONGEST rounds of completed jobs;
+	// RoundsPerSec divides it by the pool's cumulative busy time.
+	// LiveRounds adds the current gauges of running jobs.
+	RoundsTotal  int64   `json:"rounds_total"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	LiveRounds   int64   `json:"live_rounds"`
+}
+
+// Service is the concurrent min-cut job runner. Create with New,
+// submit with Submit, stop with Shutdown.
+type Service struct {
+	opts  Options
+	cache *cache
+	queue chan *job
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	inflight map[string]*job // canonical key -> queued/running job
+	retired  []string        // finished job IDs, oldest first, bounded by JobRetention
+	closed   bool
+	nextID   int64
+
+	wg        sync.WaitGroup
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	running   atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	coalesced atomic.Int64
+	submitted atomic.Int64
+	rounds    atomic.Int64
+	busyNanos atomic.Int64
+}
+
+// New starts a Service with opts.PoolSize worker goroutines.
+func New(opts Options) *Service {
+	o := opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		opts:      o,
+		cache:     newCache(o.CacheEntries),
+		queue:     make(chan *job, o.QueueDepth),
+		start:     time.Now(),
+		jobs:      make(map[string]*job),
+		inflight:  make(map[string]*job),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+	s.wg.Add(o.PoolSize)
+	for i := 0; i < o.PoolSize; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates req and returns a job snapshot. Identical canonical
+// requests are served from the result cache (state done, no protocol
+// run) or coalesced onto the already in-flight job for that key.
+func (s *Service) Submit(req JobRequest) (JobView, error) {
+	canon, key, err := CanonicalRequest(req, s.opts.Limits)
+	if err != nil {
+		return JobView{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobView{}, ErrClosed
+	}
+	if data, ok := s.cache.get(key, true); ok {
+		s.submitted.Add(1)
+		j := s.newJobLocked(key, canon)
+		j.state = StateDone
+		j.cacheHit = true
+		j.result = data
+		j.finished = j.created
+		s.retireLocked(j)
+		return s.viewLocked(j), nil
+	}
+	if cur, ok := s.inflight[key]; ok {
+		s.submitted.Add(1)
+		s.coalesced.Add(1)
+		return s.viewLocked(cur), nil
+	}
+	if len(s.queue) == cap(s.queue) {
+		// Deliberately not counted in jobs_submitted: the counter
+		// tracks accepted work only (bad specs and 503s are excluded).
+		return JobView{}, fmt.Errorf("%w (depth %d)", ErrBusy, cap(s.queue))
+	}
+	s.submitted.Add(1)
+	j := s.newJobLocked(key, canon)
+	j.state = StateQueued
+	j.progress = &congest.Progress{}
+	s.inflight[key] = j
+	s.queue <- j // cannot block: sends only happen under mu with space checked
+	return s.viewLocked(j), nil
+}
+
+// retireLocked marks j finished for retention accounting and drops the
+// oldest finished records beyond Options.JobRetention, so the job map
+// cannot grow without bound under sustained traffic. Caller holds mu.
+func (s *Service) retireLocked(j *job) {
+	s.retired = append(s.retired, j.id)
+	for len(s.retired) > s.opts.JobRetention {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+}
+
+// newJobLocked allocates and registers a job record. Caller holds mu.
+func (s *Service) newJobLocked(key string, canon JobRequest) *job {
+	s.nextID++
+	j := &job{
+		id:      "j" + strconv.FormatInt(s.nextID, 10),
+		key:     key,
+		req:     canon,
+		created: time.Now(),
+	}
+	s.jobs[j.id] = j
+	return j
+}
+
+// Job returns a snapshot of the job with the given ID.
+func (s *Service) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return s.viewLocked(j), true
+}
+
+// Cancel cancels a queued or running job. Canceling a finished job is
+// a no-op; unknown IDs report false.
+func (s *Service) Cancel(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	switch j.state {
+	case StateQueued:
+		// The worker that eventually pops it observes the state and
+		// drops it.
+		j.state = StateCanceled
+		j.finished = time.Now()
+		delete(s.inflight, j.key)
+		s.canceled.Add(1)
+		s.retireLocked(j)
+	case StateRunning:
+		j.cancel() // worker completes the transition when the run aborts
+	}
+	return s.viewLocked(j), true
+}
+
+// ResultByKey returns the cached canonical result bytes for a key.
+func (s *Service) ResultByKey(key string) ([]byte, bool) {
+	return s.cache.get(key, false)
+}
+
+// viewLocked snapshots j. Caller holds mu.
+func (s *Service) viewLocked(j *job) JobView {
+	v := JobView{
+		ID:        j.id,
+		Key:       j.key,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Error:     j.err,
+		CreatedAt: j.created,
+	}
+	if j.progress != nil {
+		v.Rounds = int64(j.progress.Round())
+		v.Delivered = j.progress.Delivered()
+	}
+	if j.state == StateDone {
+		v.Result = json.RawMessage(j.result)
+	}
+	return v
+}
+
+// Metrics snapshots service health.
+func (s *Service) Metrics() Metrics {
+	hits, misses, entries := s.cache.stats()
+	m := Metrics{
+		UptimeSec:     time.Since(s.start).Seconds(),
+		PoolSize:      s.opts.PoolSize,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Running:       int(s.running.Load()),
+		Submitted:     s.submitted.Load(),
+		Completed:     s.completed.Load(),
+		Failed:        s.failed.Load(),
+		Canceled:      s.canceled.Load(),
+		Coalesced:     s.coalesced.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheEntries:  entries,
+		RoundsTotal:   s.rounds.Load(),
+	}
+	if total := hits + misses; total > 0 {
+		m.CacheHitRate = float64(hits) / float64(total)
+	}
+	if busy := s.busyNanos.Load(); busy > 0 {
+		m.RoundsPerSec = float64(m.RoundsTotal) / (float64(busy) / 1e9)
+	}
+	s.mu.Lock()
+	for _, j := range s.inflight {
+		if j.state == StateRunning && j.progress != nil {
+			m.LiveRounds += int64(j.progress.Round())
+		}
+	}
+	s.mu.Unlock()
+	return m
+}
+
+// Shutdown drains the service: no new submissions are accepted, queued
+// and running jobs are given until ctx is done to finish, then every
+// remaining run is canceled. Always returns after the pool has exited;
+// the error is ctx's if the deadline forced cancellation.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue) // safe: sends happen only under mu with closed checked
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancelAll()
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker executes queued jobs until the queue closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end and finalizes its record.
+func (s *Service) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	s.mu.Unlock()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	defer cancel()
+
+	res, err := s.execute(ctx, j)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	delete(s.inflight, j.key)
+	busy := j.finished.Sub(j.started)
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+		s.cache.put(j.key, res)
+		s.completed.Add(1)
+		s.rounds.Add(int64(j.progress.Round()))
+		s.busyNanos.Add(busy.Nanoseconds())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.err = err.Error()
+		s.canceled.Add(1)
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		s.failed.Add(1)
+	}
+	s.retireLocked(j)
+}
+
+// execute builds the graph and runs the requested protocol, returning
+// canonical result bytes.
+func (s *Service) execute(ctx context.Context, j *job) ([]byte, error) {
+	// Fast-fail before the (possibly large) graph build: after a
+	// deadline-forced shutdown the queue may still hold jobs, and the
+	// drain budget must not be spent constructing graphs that would
+	// only be canceled at the first round boundary.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g, err := Build(j.req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	opts := &distmincut.Options{
+		Seed:           j.req.Seed,
+		Epsilon:        j.req.Epsilon,
+		Workers:        s.opts.EngineWorkers,
+		DeliveryShards: s.opts.DeliveryShards,
+		Progress:       j.progress,
+		CheckPayload:   s.opts.CheckPayload,
+	}
+	var res *distmincut.Result
+	switch j.req.Mode {
+	case "exact":
+		res, err = distmincut.MinCutContext(ctx, g, opts)
+	case "approx":
+		res, err = distmincut.ApproxMinCutContext(ctx, g, opts)
+	case "respect":
+		res, _, err = distmincut.OneRespectingCutContext(ctx, g, opts)
+	default:
+		return nil, bad("unknown mode %q", j.req.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return encodeResult(j.key, j.req.Mode, g.N(), g.M(), res)
+}
+
+// encodeResult renders the canonical result bytes for the cache.
+func encodeResult(key, mode string, n, m int, res *distmincut.Result) ([]byte, error) {
+	bits := make([]byte, (len(res.Side)+7)/8)
+	sideIn := 0
+	for i, in := range res.Side {
+		if in {
+			bits[i/8] |= 1 << (i % 8)
+			sideIn++
+		}
+	}
+	out := Result{
+		Key:         key,
+		Mode:        mode,
+		N:           n,
+		M:           m,
+		Value:       res.Value,
+		Exact:       res.Exact,
+		BestNode:    int64(res.BestNode),
+		TreesPacked: res.TreesPacked,
+		Levels:      res.Levels,
+		Rounds:      res.Rounds,
+		Messages:    res.Messages,
+		SideIn:      sideIn,
+		Side:        base64.StdEncoding.EncodeToString(bits),
+	}
+	return json.Marshal(&out)
+}
