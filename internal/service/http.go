@@ -19,6 +19,11 @@ const DefaultMaxBody int64 = 64 << 20
 //	GET    /v1/results/{key}  canonical result bytes by content address
 //	GET    /healthz           liveness
 //	GET    /metrics           Metrics snapshot
+//
+// Submissions whose canonical spec matches an in-flight computation
+// are coalesced onto that execution but still receive their own job
+// ID: DELETE cancels only the caller's job, and the shared protocol
+// run is abandoned only when every coalesced submitter has canceled.
 type API struct {
 	svc *Service
 	// MaxBody bounds the submit request body (DefaultMaxBody if 0).

@@ -102,21 +102,35 @@ type Result struct {
 	Side   string `json:"side"`
 }
 
-// job is the internal record; all mutable fields are guarded by the
+// job is one submitter's record; all mutable fields are guarded by the
 // service mutex except the progress gauge (atomic by construction).
+// Submissions coalesced onto the same canonical key each get their own
+// job record, all attached to one shared exec.
 type job struct {
 	id       string
 	key      string
-	req      JobRequest
 	state    State
 	cacheHit bool
 	err      string
 	result   []byte
 	progress *congest.Progress
-	cancel   context.CancelFunc
+	exec     *exec // nil once terminal (or for cache-hit records)
 	created  time.Time
 	started  time.Time
 	finished time.Time
+}
+
+// exec is one protocol execution, shared by every job record coalesced
+// onto its canonical key. Canceling a job only detaches that record;
+// the execution itself is canceled when its last waiter detaches. All
+// fields are guarded by the service mutex except the progress gauge.
+type exec struct {
+	key      string
+	req      JobRequest
+	state    State // StateQueued or StateRunning; terminal states live on jobs
+	progress *congest.Progress
+	cancel   context.CancelFunc // set once running
+	waiters  []*job             // attached, non-terminal job records
 }
 
 // JobView is an immutable snapshot of a job for API responses.
@@ -163,13 +177,13 @@ type Metrics struct {
 type Service struct {
 	opts  Options
 	cache *cache
-	queue chan *job
+	queue chan *exec
 	start time.Time
 
 	mu       sync.Mutex
 	jobs     map[string]*job
-	inflight map[string]*job // canonical key -> queued/running job
-	retired  []string        // finished job IDs, oldest first, bounded by JobRetention
+	inflight map[string]*exec // canonical key -> queued/running execution
+	retired  []string         // finished job IDs, oldest first, bounded by JobRetention
 	closed   bool
 	nextID   int64
 
@@ -194,10 +208,10 @@ func New(opts Options) *Service {
 	s := &Service{
 		opts:      o,
 		cache:     newCache(o.CacheEntries),
-		queue:     make(chan *job, o.QueueDepth),
+		queue:     make(chan *exec, o.QueueDepth),
 		start:     time.Now(),
 		jobs:      make(map[string]*job),
-		inflight:  make(map[string]*job),
+		inflight:  make(map[string]*exec),
 		baseCtx:   ctx,
 		cancelAll: cancel,
 	}
@@ -210,7 +224,10 @@ func New(opts Options) *Service {
 
 // Submit validates req and returns a job snapshot. Identical canonical
 // requests are served from the result cache (state done, no protocol
-// run) or coalesced onto the already in-flight job for that key.
+// run) or coalesced onto the already in-flight execution for that key.
+// A coalesced submission still gets its own job ID: every submitter
+// polls and cancels an independent record, and only the shared
+// execution (one protocol run, one cache fill) is deduplicated.
 func (s *Service) Submit(req JobRequest) (JobView, error) {
 	canon, key, err := CanonicalRequest(req, s.opts.Limits)
 	if err != nil {
@@ -223,7 +240,7 @@ func (s *Service) Submit(req JobRequest) (JobView, error) {
 	}
 	if data, ok := s.cache.get(key, true); ok {
 		s.submitted.Add(1)
-		j := s.newJobLocked(key, canon)
+		j := s.newJobLocked(key)
 		j.state = StateDone
 		j.cacheHit = true
 		j.result = data
@@ -231,10 +248,15 @@ func (s *Service) Submit(req JobRequest) (JobView, error) {
 		s.retireLocked(j)
 		return s.viewLocked(j), nil
 	}
-	if cur, ok := s.inflight[key]; ok {
+	if e, ok := s.inflight[key]; ok {
 		s.submitted.Add(1)
 		s.coalesced.Add(1)
-		return s.viewLocked(cur), nil
+		j := s.newJobLocked(key)
+		j.state = e.state
+		j.progress = e.progress
+		j.exec = e
+		e.waiters = append(e.waiters, j)
+		return s.viewLocked(j), nil
 	}
 	if len(s.queue) == cap(s.queue) {
 		// Deliberately not counted in jobs_submitted: the counter
@@ -242,11 +264,14 @@ func (s *Service) Submit(req JobRequest) (JobView, error) {
 		return JobView{}, fmt.Errorf("%w (depth %d)", ErrBusy, cap(s.queue))
 	}
 	s.submitted.Add(1)
-	j := s.newJobLocked(key, canon)
+	e := &exec{key: key, req: canon, state: StateQueued, progress: &congest.Progress{}}
+	j := s.newJobLocked(key)
 	j.state = StateQueued
-	j.progress = &congest.Progress{}
-	s.inflight[key] = j
-	s.queue <- j // cannot block: sends only happen under mu with space checked
+	j.progress = e.progress
+	j.exec = e
+	e.waiters = []*job{j}
+	s.inflight[key] = e
+	s.queue <- e // cannot block: sends only happen under mu with space checked
 	return s.viewLocked(j), nil
 }
 
@@ -262,12 +287,11 @@ func (s *Service) retireLocked(j *job) {
 }
 
 // newJobLocked allocates and registers a job record. Caller holds mu.
-func (s *Service) newJobLocked(key string, canon JobRequest) *job {
+func (s *Service) newJobLocked(key string) *job {
 	s.nextID++
 	j := &job{
 		id:      "j" + strconv.FormatInt(s.nextID, 10),
 		key:     key,
-		req:     canon,
 		created: time.Now(),
 	}
 	s.jobs[j.id] = j
@@ -286,7 +310,12 @@ func (s *Service) Job(id string) (JobView, bool) {
 }
 
 // Cancel cancels a queued or running job. Canceling a finished job is
-// a no-op; unknown IDs report false.
+// a no-op; unknown IDs report false. A canceled job only detaches the
+// caller's record from the shared execution: other submitters
+// coalesced onto the same key keep their jobs and still receive the
+// result. The execution itself is canceled (queued: dropped by the
+// worker; running: context-aborted) only when its last waiter
+// detaches.
 func (s *Service) Cancel(id string) (JobView, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -294,17 +323,30 @@ func (s *Service) Cancel(id string) (JobView, bool) {
 	if !ok {
 		return JobView{}, false
 	}
-	switch j.state {
-	case StateQueued:
-		// The worker that eventually pops it observes the state and
-		// drops it.
-		j.state = StateCanceled
-		j.finished = time.Now()
-		delete(s.inflight, j.key)
-		s.canceled.Add(1)
-		s.retireLocked(j)
-	case StateRunning:
-		j.cancel() // worker completes the transition when the run aborts
+	e := j.exec
+	if e == nil { // already terminal (or a cache-hit record)
+		return s.viewLocked(j), true
+	}
+	j.state = StateCanceled
+	j.err = "canceled by request"
+	j.finished = time.Now()
+	j.exec = nil
+	s.canceled.Add(1)
+	s.retireLocked(j)
+	for i, w := range e.waiters {
+		if w == j {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			break
+		}
+	}
+	if len(e.waiters) == 0 {
+		// Last reference dropped: nobody wants this run anymore. A
+		// later identical submission starts a fresh execution.
+		delete(s.inflight, e.key)
+		if e.cancel != nil {
+			e.cancel() // running: the worker observes the aborted context
+		}
+		// Still queued: the worker pops it, sees no waiters, drops it.
 	}
 	return s.viewLocked(j), true
 }
@@ -360,9 +402,9 @@ func (s *Service) Metrics() Metrics {
 		m.RoundsPerSec = float64(m.RoundsTotal) / (float64(busy) / 1e9)
 	}
 	s.mu.Lock()
-	for _, j := range s.inflight {
-		if j.state == StateRunning && j.progress != nil {
-			m.LiveRounds += int64(j.progress.Round())
+	for _, e := range s.inflight {
+		if e.state == StateRunning {
+			m.LiveRounds += int64(e.progress.Round())
 		}
 	}
 	s.mu.Unlock()
@@ -399,60 +441,95 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 }
 
-// worker executes queued jobs until the queue closes.
+// worker executes queued executions until the queue closes.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		s.runJob(j)
+	for e := range s.queue {
+		s.runExec(e)
 	}
 }
 
-// runJob executes one job end to end and finalizes its record.
-func (s *Service) runJob(j *job) {
+// runExec runs one execution end to end and finalizes every job record
+// still attached to it.
+func (s *Service) runExec(e *exec) {
 	s.mu.Lock()
-	if j.state != StateQueued { // canceled while queued
+	if len(e.waiters) == 0 { // every submitter canceled while queued
 		s.mu.Unlock()
 		return
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	j.state = StateRunning
-	j.started = time.Now()
-	j.cancel = cancel
+	e.state = StateRunning
+	e.cancel = cancel
+	started := time.Now()
+	for _, j := range e.waiters {
+		j.state = StateRunning
+		j.started = started
+	}
 	s.mu.Unlock()
 	s.running.Add(1)
 	defer s.running.Add(-1)
 	defer cancel()
 
-	res, err := s.execute(ctx, j)
+	res, err := s.executeSafe(ctx, e)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j.finished = time.Now()
-	delete(s.inflight, j.key)
-	busy := j.finished.Sub(j.started)
+	if s.inflight[e.key] == e {
+		delete(s.inflight, e.key)
+	}
+	now := time.Now()
 	switch {
 	case err == nil:
-		j.state = StateDone
-		j.result = res
-		s.cache.put(j.key, res)
+		s.cache.put(e.key, res)
 		s.completed.Add(1)
-		s.rounds.Add(int64(j.progress.Round()))
-		s.busyNanos.Add(busy.Nanoseconds())
+		s.rounds.Add(int64(e.progress.Round()))
+		s.busyNanos.Add(now.Sub(started).Nanoseconds())
+		for _, j := range e.waiters {
+			j.state = StateDone
+			j.result = res
+			j.finished = now
+			j.exec = nil
+			s.retireLocked(j)
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		j.state = StateCanceled
-		j.err = err.Error()
-		s.canceled.Add(1)
+		for _, j := range e.waiters {
+			j.state = StateCanceled
+			j.err = err.Error()
+			j.finished = now
+			j.exec = nil
+			s.canceled.Add(1)
+			s.retireLocked(j)
+		}
 	default:
-		j.state = StateFailed
-		j.err = err.Error()
 		s.failed.Add(1)
+		for _, j := range e.waiters {
+			j.state = StateFailed
+			j.err = err.Error()
+			j.finished = now
+			j.exec = nil
+			s.retireLocked(j)
+		}
 	}
-	s.retireLocked(j)
+	e.waiters = nil
+}
+
+// executeSafe is execute behind a panic barrier: the engine converts
+// node-program panics to PanicError itself, but a panic anywhere else
+// (graph construction on a spec a validation gap let through, result
+// encoding) must fail the one job that triggered it, not take down the
+// whole process from a worker goroutine.
+func (s *Service) executeSafe(ctx context.Context, e *exec) (res []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("service: job panicked: %v", r)
+		}
+	}()
+	return s.execute(ctx, e)
 }
 
 // execute builds the graph and runs the requested protocol, returning
 // canonical result bytes.
-func (s *Service) execute(ctx context.Context, j *job) ([]byte, error) {
+func (s *Service) execute(ctx context.Context, e *exec) ([]byte, error) {
 	// Fast-fail before the (possibly large) graph build: after a
 	// deadline-forced shutdown the queue may still hold jobs, and the
 	// drain budget must not be spent constructing graphs that would
@@ -460,20 +537,20 @@ func (s *Service) execute(ctx context.Context, j *job) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	g, err := Build(j.req.Graph)
+	g, err := Build(e.req.Graph)
 	if err != nil {
 		return nil, err
 	}
 	opts := &distmincut.Options{
-		Seed:           j.req.Seed,
-		Epsilon:        j.req.Epsilon,
+		Seed:           e.req.Seed,
+		Epsilon:        e.req.Epsilon,
 		Workers:        s.opts.EngineWorkers,
 		DeliveryShards: s.opts.DeliveryShards,
-		Progress:       j.progress,
+		Progress:       e.progress,
 		CheckPayload:   s.opts.CheckPayload,
 	}
 	var res *distmincut.Result
-	switch j.req.Mode {
+	switch e.req.Mode {
 	case "exact":
 		res, err = distmincut.MinCutContext(ctx, g, opts)
 	case "approx":
@@ -481,12 +558,12 @@ func (s *Service) execute(ctx context.Context, j *job) ([]byte, error) {
 	case "respect":
 		res, _, err = distmincut.OneRespectingCutContext(ctx, g, opts)
 	default:
-		return nil, bad("unknown mode %q", j.req.Mode)
+		return nil, bad("unknown mode %q", e.req.Mode)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return encodeResult(j.key, j.req.Mode, g.N(), g.M(), res)
+	return encodeResult(e.key, e.req.Mode, g.N(), g.M(), res)
 }
 
 // encodeResult renders the canonical result bytes for the cache.

@@ -7,9 +7,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"math/bits"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"distmincut/internal/congest"
 )
 
 func plantedReq(seed int64) JobRequest {
@@ -130,7 +135,8 @@ func TestRepeatSubmissionServedFromCache(t *testing.T) {
 
 func TestIdenticalInflightSpecsCoalesce(t *testing.T) {
 	// Pool of 1 busy with a slow job keeps the identical submissions
-	// queued, so they must coalesce onto one record.
+	// queued, so they must coalesce onto one execution — while each
+	// submitter still gets an independent job record.
 	s := New(Options{PoolSize: 1})
 	defer shutdown(t, s)
 	slow, err := s.Submit(plantedReq(3))
@@ -141,13 +147,90 @@ func TestIdenticalInflightSpecsCoalesce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again.ID != slow.ID {
-		t.Fatalf("identical in-flight specs minted two jobs: %s, %s", slow.ID, again.ID)
+	if again.ID == slow.ID {
+		t.Fatal("coalesced submission must mint its own job record")
+	}
+	if again.Key != slow.Key {
+		t.Fatalf("coalesced submission changed keys: %s vs %s", again.Key, slow.Key)
 	}
 	if m := s.Metrics(); m.Coalesced != 1 {
 		t.Fatalf("coalesced = %d, want 1", m.Coalesced)
 	}
+	a := waitState(t, s, slow.ID, StateDone, 2*time.Minute)
+	b := waitState(t, s, again.ID, StateDone, 2*time.Minute)
+	if !bytes.Equal(a.Result, b.Result) {
+		t.Fatal("coalesced jobs received different result bytes")
+	}
+	// One execution served both records.
+	if m := s.Metrics(); m.Completed != 1 {
+		t.Fatalf("completed = %d, want 1 (one shared run)", m.Completed)
+	}
+}
+
+// TestCancelDetachesOnlyCaller: DELETE on one of two coalesced jobs
+// must cancel that submitter's record only; the other still receives
+// the result from the shared execution.
+func TestCancelDetachesOnlyCaller(t *testing.T) {
+	s := New(Options{PoolSize: 1})
+	defer shutdown(t, s)
+	if _, err := s.Submit(plantedReq(40)); err != nil { // occupies the worker
+		t.Fatal(err)
+	}
+	first, err := s.Submit(plantedReq(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Submit(plantedReq(41)) // coalesces onto first's execution
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Cancel(second.ID)
+	if !ok || v.State != StateCanceled {
+		t.Fatalf("cancel coalesced waiter: ok=%v state=%s", ok, v.State)
+	}
+	final := waitState(t, s, first.ID, StateDone, 2*time.Minute)
+	if len(final.Result) == 0 {
+		t.Fatal("surviving waiter got no result")
+	}
+	if v, _ := s.Job(second.ID); v.State != StateCanceled {
+		t.Fatalf("canceled waiter reached %s", v.State)
+	}
+	if m := s.Metrics(); m.Canceled != 1 || m.Completed != 2 {
+		t.Fatalf("canceled/completed = %d/%d, want 1/2", m.Canceled, m.Completed)
+	}
+}
+
+// TestCancelLastWaiterCancelsRun: once every coalesced submitter has
+// canceled, the shared execution itself must be abandoned rather than
+// run for nobody.
+func TestCancelLastWaiterCancelsRun(t *testing.T) {
+	s := New(Options{PoolSize: 1})
+	defer shutdown(t, s)
+	slow, err := s.Submit(plantedReq(44)) // occupies the worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Submit(plantedReq(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Submit(plantedReq(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{first.ID, second.ID} {
+		if v, ok := s.Cancel(id); !ok || v.State != StateCanceled {
+			t.Fatalf("cancel %s: ok=%v state=%v", id, ok, v.State)
+		}
+	}
 	waitState(t, s, slow.ID, StateDone, 2*time.Minute)
+	m := s.Metrics()
+	if m.Canceled != 2 {
+		t.Fatalf("canceled = %d, want 2", m.Canceled)
+	}
+	if m.Completed != 1 {
+		t.Fatalf("completed = %d, want 1 — abandoned execution still ran", m.Completed)
+	}
 }
 
 func TestQueueSaturationReturnsBusy(t *testing.T) {
@@ -415,6 +498,84 @@ func TestBadSpecsRejected(t *testing.T) {
 		// before the counter.
 		t.Fatalf("rejected specs counted as submissions: %d", m.Submitted)
 	}
+}
+
+// TestOverflowingSpecsRejected: dimension products must never wrap
+// past the size limits. big is half the platform int width, so
+// big*big ≡ 0 mod the int range on both 32- and 64-bit targets — the
+// exact shape of the grid {rows: 2^32, cols: 2^32} request that used
+// to slip through validation and panic graph construction inside a
+// worker.
+func TestOverflowingSpecsRejected(t *testing.T) {
+	s := New(Options{PoolSize: 1})
+	defer shutdown(t, s)
+	big := 1 << (bits.UintSize / 2)
+	half := math.MaxInt/2 + 1 // n1+n2 wraps negative
+	cases := []JobRequest{
+		{Graph: GraphSpec{Family: "grid", Rows: big, Cols: big}},
+		{Graph: GraphSpec{Family: "torus", Rows: big, Cols: big}},
+		{Graph: GraphSpec{Family: "cliquepath", Cliques: big, CliqueSize: big, Bridge: 1}},
+		{Graph: GraphSpec{Family: "planted", N1: half, N2: half, K: 1, InP: 0.1}},
+	}
+	for i, req := range cases {
+		if _, err := s.Submit(req); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("case %d (%s): got %v, want ErrBadSpec", i, req.Graph.Family, err)
+		}
+	}
+}
+
+// TestWorkerSurvivesPanickingBuild: a panic inside a worker must fail
+// the one job that triggered it, never the process. Validation can no
+// longer admit a spec whose Build panics, so the test injects one
+// directly (graph.Torus panics below 3x3) past the Submit checks.
+func TestWorkerSurvivesPanickingBuild(t *testing.T) {
+	s := New(Options{PoolSize: 1})
+	defer shutdown(t, s)
+	s.mu.Lock()
+	e := &exec{
+		key:      "injected-panic",
+		req:      JobRequest{Mode: "exact", Seed: 1, Graph: GraphSpec{Family: "torus", Rows: 2, Cols: 2}},
+		state:    StateQueued,
+		progress: &congest.Progress{},
+	}
+	j := s.newJobLocked(e.key)
+	j.state = StateQueued
+	j.progress = e.progress
+	j.exec = e
+	e.waiters = []*job{j}
+	s.inflight[e.key] = e
+	s.queue <- e
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(time.Minute)
+	for {
+		v, ok := s.Job(j.id)
+		if !ok {
+			t.Fatal("injected job disappeared")
+		}
+		if v.State == StateFailed {
+			if !strings.Contains(v.Error, "panicked") {
+				t.Fatalf("failed job error %q does not report the panic", v.Error)
+			}
+			break
+		}
+		if v.State == StateDone || v.State == StateCanceled {
+			t.Fatalf("injected job reached %s", v.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("injected job stuck in %s", v.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if m := s.Metrics(); m.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", m.Failed)
+	}
+	// The worker that recovered must still serve jobs.
+	next, err := s.Submit(cycleReq(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, next.ID, StateDone, 2*time.Minute)
 }
 
 func TestCanonicalizationCollapsesEquivalentRequests(t *testing.T) {

@@ -177,15 +177,21 @@ func CanonicalRequest(req JobRequest, limits Limits) (JobRequest, string, error)
 // fields the family consumes survive.
 func canonicalGraph(in GraphSpec, limits Limits) (GraphSpec, error) {
 	out := GraphSpec{Family: in.Family}
-	checkN := func(n int) error {
-		if n < 2 {
-			return bad("family %s needs n >= 2, got %d", in.Family, n)
+	// Every dimension is bounded individually by MaxNodes before any
+	// product is formed, and products are computed in int64: a request
+	// like rows = cols = 2^32 must be rejected on the factor, never
+	// allowed to wrap rows*cols past the size check (which would panic
+	// deep inside graph construction).
+	checkDim := func(name string, v, min int) error {
+		if v < min {
+			return bad("%s needs %s >= %d, got %d", in.Family, name, min, v)
 		}
-		if n > limits.MaxNodes {
-			return bad("n %d exceeds MaxNodes %d", n, limits.MaxNodes)
+		if v > limits.MaxNodes {
+			return bad("%s %s %d exceeds MaxNodes %d", in.Family, name, v, limits.MaxNodes)
 		}
 		return nil
 	}
+	checkN := func(n int) error { return checkDim("n", n, 2) }
 	switch in.Family {
 	case "gnp":
 		if err := checkN(in.N); err != nil {
@@ -199,13 +205,16 @@ func canonicalGraph(in GraphSpec, limits Limits) (GraphSpec, error) {
 		}
 		out.N, out.P, out.Seed = in.N, in.P, in.Seed
 	case "planted":
-		if in.N1 < 2 || in.N2 < 2 {
-			return out, bad("planted needs n1, n2 >= 2, got %d, %d", in.N1, in.N2)
+		if err := checkDim("n1", in.N1, 2); err != nil {
+			return out, err
+		}
+		if err := checkDim("n2", in.N2, 2); err != nil {
+			return out, err
 		}
 		if in.N1+in.N2 > limits.MaxNodes {
 			return out, bad("planted n %d exceeds MaxNodes %d", in.N1+in.N2, limits.MaxNodes)
 		}
-		if in.K < 1 || in.K > in.N1*in.N2 {
+		if in.K < 1 || int64(in.K) > int64(in.N1)*int64(in.N2) {
 			return out, bad("planted k %d outside [1, n1*n2]", in.K)
 		}
 		if in.InP < 0 || in.InP > 1 || math.IsNaN(in.InP) {
@@ -218,18 +227,24 @@ func canonicalGraph(in GraphSpec, limits Limits) (GraphSpec, error) {
 		}
 		out.N1, out.N2, out.K, out.InP, out.Seed = in.N1, in.N2, in.K, in.InP, in.Seed
 	case "torus":
-		if in.Rows < 3 || in.Cols < 3 {
-			return out, bad("torus needs rows, cols >= 3, got %dx%d", in.Rows, in.Cols)
+		if err := checkDim("rows", in.Rows, 3); err != nil {
+			return out, err
 		}
-		if in.Rows*in.Cols > limits.MaxNodes || 2*in.Rows*in.Cols > limits.MaxEdges {
+		if err := checkDim("cols", in.Cols, 3); err != nil {
+			return out, err
+		}
+		if n := int64(in.Rows) * int64(in.Cols); n > int64(limits.MaxNodes) || 2*n > int64(limits.MaxEdges) {
 			return out, bad("torus %dx%d exceeds limits", in.Rows, in.Cols)
 		}
 		out.Rows, out.Cols = in.Rows, in.Cols
 	case "grid":
-		if in.Rows < 2 || in.Cols < 2 {
-			return out, bad("grid needs rows, cols >= 2, got %dx%d", in.Rows, in.Cols)
+		if err := checkDim("rows", in.Rows, 2); err != nil {
+			return out, err
 		}
-		if in.Rows*in.Cols > limits.MaxNodes {
+		if err := checkDim("cols", in.Cols, 2); err != nil {
+			return out, err
+		}
+		if int64(in.Rows)*int64(in.Cols) > int64(limits.MaxNodes) {
 			return out, bad("grid %dx%d exceeds MaxNodes %d", in.Rows, in.Cols, limits.MaxNodes)
 		}
 		out.Rows, out.Cols = in.Rows, in.Cols
@@ -245,7 +260,7 @@ func canonicalGraph(in GraphSpec, limits Limits) (GraphSpec, error) {
 		if err := checkN(in.N); err != nil {
 			return out, err
 		}
-		if in.N*(in.N-1)/2 > limits.MaxEdges {
+		if int64(in.N)*int64(in.N-1)/2 > int64(limits.MaxEdges) {
 			return out, bad("complete n %d exceeds MaxEdges %d", in.N, limits.MaxEdges)
 		}
 		out.N = in.N
@@ -253,7 +268,7 @@ func canonicalGraph(in GraphSpec, limits Limits) (GraphSpec, error) {
 		if in.Dim < 1 || in.Dim > 30 {
 			return out, bad("hypercube dim %d outside [1, 30]", in.Dim)
 		}
-		if 1<<in.Dim > limits.MaxNodes || in.Dim<<(in.Dim-1) > limits.MaxEdges {
+		if 1<<in.Dim > int64(limits.MaxNodes) || int64(in.Dim)<<(in.Dim-1) > int64(limits.MaxEdges) {
 			return out, bad("hypercube dim %d exceeds limits", in.Dim)
 		}
 		out.Dim = in.Dim
@@ -264,20 +279,23 @@ func canonicalGraph(in GraphSpec, limits Limits) (GraphSpec, error) {
 		if in.Degree < 1 || in.Degree >= in.N || in.N*in.Degree%2 != 0 {
 			return out, bad("random_regular (n=%d, degree=%d) infeasible", in.N, in.Degree)
 		}
-		if in.N*in.Degree/2 > limits.MaxEdges {
+		if int64(in.N)*int64(in.Degree)/2 > int64(limits.MaxEdges) {
 			return out, bad("random_regular exceeds MaxEdges %d", limits.MaxEdges)
 		}
 		out.N, out.Degree, out.Seed = in.N, in.Degree, in.Seed
 	case "cliquepath":
-		if in.Cliques < 2 || in.CliqueSize < 2 {
-			return out, bad("cliquepath needs cliques, clique_size >= 2")
+		if err := checkDim("cliques", in.Cliques, 2); err != nil {
+			return out, err
+		}
+		if err := checkDim("clique_size", in.CliqueSize, 2); err != nil {
+			return out, err
 		}
 		if in.Bridge < 1 || in.Bridge > in.CliqueSize {
 			return out, bad("cliquepath bridge %d outside [1, clique_size]", in.Bridge)
 		}
-		n := in.Cliques * in.CliqueSize
-		m := in.Cliques*in.CliqueSize*(in.CliqueSize-1)/2 + (in.Cliques-1)*in.Bridge
-		if n > limits.MaxNodes || m > limits.MaxEdges {
+		n := int64(in.Cliques) * int64(in.CliqueSize)
+		m := n*int64(in.CliqueSize-1)/2 + int64(in.Cliques-1)*int64(in.Bridge)
+		if n > int64(limits.MaxNodes) || m > int64(limits.MaxEdges) {
 			return out, bad("cliquepath exceeds limits (n=%d, m=%d)", n, m)
 		}
 		out.Cliques, out.CliqueSize, out.Bridge = in.Cliques, in.CliqueSize, in.Bridge
