@@ -9,7 +9,7 @@
 // Usage:
 //
 //	go test ./internal/congest -bench BenchmarkEngine -benchmem | benchjson > BENCH_engine.json
-//	benchjson -compare BENCH_engine.json new.json [-threshold 0.20] [-match BenchmarkEngineExpander]
+//	benchjson -compare BENCH_engine.json new.json [-threshold 0.20] [-match 'BenchmarkEngine(Expander|MillionExpander)']
 package main
 
 import (
@@ -44,7 +44,7 @@ type Report struct {
 func main() {
 	compare := flag.Bool("compare", false, "compare two report files (old new) instead of converting stdin")
 	threshold := flag.Float64("threshold", 0.20, "relative regression tolerated by -compare (0.20 = 20%)")
-	match := flag.String("match", "BenchmarkEngineExpander", "regexp of benchmark names gated by -compare")
+	match := flag.String("match", "BenchmarkEngine(Expander|MillionExpander)", "regexp of benchmark names gated by -compare")
 	flag.Parse()
 	if *compare {
 		os.Exit(runCompare(flag.Args(), *threshold, *match))
@@ -133,8 +133,16 @@ func dedupeBest(benchmarks []Benchmark) []Benchmark {
 }
 
 // gatedMetrics are the metrics -compare enforces: lower is better for
-// both, and allocs/op is noise-free so any budget works there.
+// both, and allocs/op is noise-free so any budget works there. When a
+// benchmark reports the round-ns metric (the million workloads, which
+// split steady-state round time from engine setup), round-ns replaces
+// ns/op as the gated time metric: setup cost at that scale is
+// kernel-bound and co-tenant-noisy, while round time is the number the
+// engine work actually moves. A baseline that predates the metric
+// simply leaves the time axis ungated for that benchmark.
 var gatedMetrics = []string{"ns/op", "allocs/op"}
+
+var gatedMetricsRound = []string{"round-ns", "allocs/op"}
 
 func loadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
@@ -189,7 +197,11 @@ func runCompare(args []string, threshold float64, match string) int {
 		}
 		delete(oldBy, nb.Name)
 		compared++
-		for _, metric := range gatedMetrics {
+		metrics := gatedMetrics
+		if nb.Metrics["round-ns"] > 0 {
+			metrics = gatedMetricsRound
+		}
+		for _, metric := range metrics {
 			ov, nv := ob.Metrics[metric], nb.Metrics[metric]
 			if ov <= 0 {
 				continue

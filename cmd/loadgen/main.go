@@ -5,6 +5,15 @@
 // immediately submits the next — so offered load adapts to service
 // capacity, the standard closed-loop model.
 //
+// With -rate R the generator switches to open loop: requests arrive on
+// a fixed schedule of R per second regardless of how fast the service
+// answers, which is what production traffic does. Latency is measured
+// from each request's scheduled arrival time (not its actual launch),
+// so queueing delay under overload — including coordinated-omission
+// slip when the generator itself falls behind — lands in the reported
+// p50/p95/p99 instead of being silently forgiven. -conc is ignored in
+// open-loop mode; every in-flight request holds its own goroutine.
+//
 // With no -addr, loadgen self-hosts: it starts an in-process service
 // behind a real HTTP listener and drives that, which is what `make
 // bench-service` uses to produce BENCH_service.json without
@@ -47,6 +56,7 @@ type options struct {
 	conc     int
 	requests int
 	corpus   string
+	rate     float64
 	poll     time.Duration
 	timeout  time.Duration
 	bench    bool
@@ -60,6 +70,7 @@ func run() int {
 	flag.IntVar(&o.conc, "conc", 8, "concurrent closed-loop clients")
 	flag.IntVar(&o.requests, "requests", 64, "total requests to issue")
 	flag.StringVar(&o.corpus, "corpus", "quick", "request mix: quick | full")
+	flag.Float64Var(&o.rate, "rate", 0, "open-loop arrival rate in requests/sec (0 = closed loop)")
 	flag.DurationVar(&o.poll, "poll", 2*time.Millisecond, "job poll interval")
 	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "per-job completion timeout")
 	flag.BoolVar(&o.bench, "bench", false, "emit go-bench-format lines on stdout for benchjson")
@@ -93,7 +104,12 @@ func run() int {
 	}
 	base = strings.TrimRight(base, "/")
 
-	res := drive(base, corpus, o)
+	var res *outcome
+	if o.rate > 0 {
+		res = driveOpen(base, corpus, o)
+	} else {
+		res = drive(base, corpus, o)
+	}
 	report(os.Stderr, res, o)
 	if o.bench {
 		emitBench(os.Stdout, res, o)
@@ -147,7 +163,13 @@ func drive(base string, corpus []service.JobRequest, o options) *outcome {
 		}()
 	}
 	wg.Wait()
-	res := &outcome{wall: time.Since(start), hits: hits.Load()}
+	return gather(base, client, lats, fails, hits.Load(), time.Since(start), o)
+}
+
+// gather folds per-request records into the report outcome (shared by
+// the closed- and open-loop drivers).
+func gather(base string, client *http.Client, lats []time.Duration, fails []bool, hits int64, wall time.Duration, o options) *outcome {
+	res := &outcome{wall: wall, hits: hits}
 	for i := 0; i < o.requests; i++ {
 		if fails[i] {
 			res.failed++
@@ -169,6 +191,44 @@ func drive(base string, corpus []service.JobRequest, o options) *outcome {
 		resp.Body.Close()
 	}
 	return res
+}
+
+// driveOpen runs the open-loop generator: request i is due at
+// start + i/rate, launched on its own goroutine, and its latency runs
+// from that due time to completion — queue wait and generator slip
+// included. Offered load never adapts to service speed, so sustained
+// overload shows up as unbounded tail growth instead of the closed
+// loop's self-throttling.
+func driveOpen(base string, corpus []service.JobRequest, o options) *outcome {
+	client := &http.Client{Timeout: time.Minute}
+	interval := time.Duration(float64(time.Second) / o.rate)
+	var hits atomic.Int64
+	lats := make([]time.Duration, o.requests)
+	fails := make([]bool, o.requests)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.requests; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, due time.Time) {
+			defer wg.Done()
+			_, hit, err := oneRequest(client, base, corpus[i%len(corpus)], o)
+			lats[i] = time.Since(due)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", i, err)
+				fails[i] = true
+				return
+			}
+			if hit {
+				hits.Add(1)
+			}
+		}(i, due)
+	}
+	wg.Wait()
+	return gather(base, client, lats, fails, hits.Load(), time.Since(start), o)
 }
 
 // oneRequest submits one job and waits for a terminal state, retrying
@@ -235,9 +295,18 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 }
 
 func report(w io.Writer, res *outcome, o options) {
-	fmt.Fprintf(w, "\nloadgen report (corpus %s, conc %d)\n", o.corpus, o.conc)
+	if o.rate > 0 {
+		fmt.Fprintf(w, "\nloadgen report (corpus %s, open loop at %.0f req/s)\n", o.corpus, o.rate)
+	} else {
+		fmt.Fprintf(w, "\nloadgen report (corpus %s, conc %d)\n", o.corpus, o.conc)
+	}
 	fmt.Fprintf(w, "  requests:   %d completed, %d failed in %s\n", res.completed, res.failed, res.wall.Round(time.Millisecond))
-	fmt.Fprintf(w, "  throughput: %.1f jobs/s\n", float64(res.completed)/res.wall.Seconds())
+	if o.rate > 0 {
+		fmt.Fprintf(w, "  throughput: %.1f jobs/s completed (offered %.1f req/s)\n",
+			float64(res.completed)/res.wall.Seconds(), o.rate)
+	} else {
+		fmt.Fprintf(w, "  throughput: %.1f jobs/s\n", float64(res.completed)/res.wall.Seconds())
+	}
 	fmt.Fprintf(w, "  latency:    mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
 		res.mean.Round(time.Microsecond),
 		percentile(res.latencies, 0.50).Round(time.Microsecond),
@@ -260,8 +329,12 @@ func emitBench(w io.Writer, res *outcome, o options) {
 	fmt.Fprintf(w, "goos: %s\n", runtime.GOOS)
 	fmt.Fprintf(w, "goarch: %s\n", runtime.GOARCH)
 	fmt.Fprintf(w, "pkg: distmincut/cmd/loadgen\n")
-	fmt.Fprintf(w, "BenchmarkServiceLoadgen/corpus=%s/conc=%d \t %d \t %d ns/op \t %.2f jobs/s \t %.3f hit-ratio \t %d p50-ns \t %d p95-ns \t %d p99-ns \t %.1f rounds/s\n",
-		o.corpus, o.conc, res.completed, res.mean.Nanoseconds(),
+	name := fmt.Sprintf("BenchmarkServiceLoadgen/corpus=%s/conc=%d", o.corpus, o.conc)
+	if o.rate > 0 {
+		name = fmt.Sprintf("BenchmarkServiceLoadgenOpen/corpus=%s/rate=%.0f", o.corpus, o.rate)
+	}
+	fmt.Fprintf(w, "%s \t %d \t %d ns/op \t %.2f jobs/s \t %.3f hit-ratio \t %d p50-ns \t %d p95-ns \t %d p99-ns \t %.1f rounds/s\n",
+		name, res.completed, res.mean.Nanoseconds(),
 		float64(res.completed)/res.wall.Seconds(),
 		res.metrics.CacheHitRate,
 		percentile(res.latencies, 0.50).Nanoseconds(),

@@ -33,7 +33,7 @@ func run() int {
 	eps := flag.Float64("eps", 0.25, "approximation parameter (approx mode)")
 	seed := flag.Int64("seed", 1, "seed")
 	workers := flag.Int("workers", 0, "bound concurrently executing node programs (0 = unbounded)")
-	shards := flag.Int("shards", 0, "run message delivery on this many shards (0 = serial)")
+	shards := flag.Int("shards", 0, "run message delivery on this many shards (0 = one per CPU, negative = serial)")
 	weights := flag.String("weights", "", "random edge weights lo,hi (e.g. 1,50)")
 	flag.Parse()
 

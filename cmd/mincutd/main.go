@@ -50,7 +50,7 @@ func run() int {
 	queue := flag.Int("queue", 256, "max queued jobs before 503")
 	cacheEntries := flag.Int("cache", 4096, "result cache entries")
 	engineWorkers := flag.Int("engine-workers", 0, "CONGEST runtime worker lanes per run (0 = unbounded)")
-	shards := flag.Int("shards", 0, "CONGEST delivery shards per run (0 = serial)")
+	shards := flag.Int("shards", 0, "CONGEST delivery shards per run (0 = serial; the worker pool is the parallelism)")
 	checkPayload := flag.Bool("checkpayload", false, "enable the runtime payload-overflow guard on every run")
 	maxNodes := flag.Int("max-nodes", 0, "max nodes per accepted graph (0 = default)")
 	maxEdges := flag.Int("max-edges", 0, "max edges per accepted graph (0 = default)")

@@ -71,9 +71,19 @@ type Options struct {
 	Workers int
 	// DeliveryShards partitions the runtime's message-delivery phase
 	// over this many worker goroutines (see
-	// congest.Options.DeliveryShards). Zero delivers serially. Results
-	// are identical either way.
+	// congest.Options.DeliveryShards). Zero picks the runtime default
+	// (one shard per available CPU, serial on a single-CPU machine);
+	// negative forces serial delivery. Results are identical either
+	// way.
 	DeliveryShards int
+	// Engine, when non-nil, runs the protocol on this reusable runtime
+	// (congest.NewEngine) instead of a one-shot engine. A warm engine
+	// retains its slabs and port tables between runs, so repeated
+	// computations — same graph or same scale — skip nearly all of the
+	// per-run setup (see congest.Engine). The engine's options are
+	// overwritten from this struct for every run. The caller must not
+	// use one engine from concurrent computations.
+	Engine *congest.Engine
 	// Progress, when non-nil, is updated by the runtime at every round
 	// boundary with the rounds completed and messages delivered so far,
 	// so a concurrent observer (e.g. a job-status endpoint) can sample
@@ -149,6 +159,17 @@ func (o Options) engineOpts(ctx context.Context) congest.Options {
 	}
 }
 
+// runSim executes one distributed program, on the caller's reusable
+// engine when Options.Engine is set and on a one-shot engine otherwise.
+func (o Options) runSim(ctx context.Context, g *graph.Graph, program func(*congest.Node)) (*congest.Stats, error) {
+	eo := o.engineOpts(ctx)
+	if o.Engine != nil {
+		o.Engine.SetOptions(eo)
+		return o.Engine.Run(g, program)
+	}
+	return congest.Run(g, eo, program)
+}
+
 // ctxErr maps a runtime interrupt caused by ctx back to the context's
 // own error (context.Canceled or context.DeadlineExceeded), so callers
 // can errors.Is against the standard sentinels.
@@ -209,7 +230,7 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opts *Options) (*Result,
 	o := opts.withDefaults()
 	col := &collector{sides: make([]bool, g.N()), packs: make([]*packing.Result, g.N())}
 	exactAll := true
-	stats, err := congest.Run(g, o.engineOpts(ctx), func(nd *congest.Node) {
+	stats, err := o.runSim(ctx, g, func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		res, exact := packing.ExactDoubling(nd, bfs, o.TauPolicy, o.MaxLambda,
 			packing.Options{SizeCap: o.SizeCap}, 1000)
@@ -258,7 +279,7 @@ func OneRespectingCutContext(ctx context.Context, g *graph.Graph, opts *Options)
 	o := opts.withDefaults()
 	col := &collector{sides: make([]bool, g.N()), packs: make([]*packing.Result, g.N())}
 	perNode := make([]int64, g.N())
-	stats, err := congest.Run(g, o.engineOpts(ctx), func(nd *congest.Node) {
+	stats, err := o.runSim(ctx, g, func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		loads := make(map[int]int64, nd.Degree())
 		res := packing.Pack(nd, bfs, 1, loads, packing.Options{SizeCap: o.SizeCap}, 1000, nil)
@@ -304,7 +325,7 @@ func ApproxMinCutContext(ctx context.Context, g *graph.Graph, opts *Options) (*R
 	o := opts.withDefaults()
 	kappa := sampling.Kappa(o.Epsilon, g.N())
 	col := &collector{sides: make([]bool, g.N()), packs: make([]*packing.Result, g.N()), extra: map[string]int64{}}
-	stats, err := congest.Run(g, o.engineOpts(ctx), func(nd *congest.Node) {
+	stats, err := o.runSim(ctx, g, func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		approxProgram(nd, bfs, g, kappa, o, col)
 	})

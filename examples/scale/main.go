@@ -37,18 +37,23 @@ func exchange(nd *congest.Node) {
 func main() {
 	maxEdges := flag.Int("max-edges", 1_000_000, "largest workload size, in edges")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "bound concurrently executing node programs (0 = unbounded)")
-	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "run message delivery on this many shards (0 = serial)")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "run message delivery on this many shards (0 = one per CPU, negative = serial)")
 	seed := flag.Int64("seed", 1, "seed for graph generation and the runtime")
 	flag.Parse()
 
-	opts := congest.Options{Seed: *seed, Workers: *workers, DeliveryShards: *shards}
+	// One reusable engine drives the whole sweep: each size step reuses
+	// (or grows) the previous step's slabs instead of re-allocating
+	// them, which is the congest.NewEngine lifecycle production callers
+	// use.
+	eng := congest.NewEngine(congest.Options{Seed: *seed, Workers: *workers, DeliveryShards: *shards})
+	defer eng.Close()
 	fmt.Printf("engine sweep: workers=%d shards=%d seed=%d\n\n", *workers, *shards, *seed)
 	fmt.Printf("%-22s %10s %10s %8s %12s %10s %12s\n",
 		"workload", "n", "m", "rounds", "messages", "wall", "msgs/s")
 
 	run := func(name string, g *graph.Graph) {
 		start := time.Now()
-		stats, err := congest.Run(g, opts, exchange)
+		stats, err := eng.Run(g, exchange)
 		if err != nil {
 			fmt.Printf("%-22s %10d %10d  error: %v\n", name, g.N(), g.M(), err)
 			return

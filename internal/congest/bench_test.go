@@ -79,6 +79,34 @@ func benchRun(b *testing.B, g *graph.Graph, opts Options, program func(*Node)) {
 	}
 }
 
+// benchRunSplit drives a reusable engine and splits the wall time into
+// the setup-ns and round-ns metrics (per op): setup is the engine's own
+// Stats.SetupNanos measurement, round-ns everything else. The split
+// lets the regression gate watch steady-state round cost without the
+// co-tenant noise of slab allocation and kernel page zeroing that
+// dominates cold setups at the million scale (see the PR 3 addendum in
+// CHANGES.md).
+func benchRunSplit(b *testing.B, g *graph.Graph, opts Options, program func(*Node)) {
+	b.Helper()
+	b.ReportAllocs()
+	eng := NewEngine(opts)
+	defer eng.Close()
+	var delivered, setupTotal int64
+	for i := 0; i < b.N; i++ {
+		stats, err := eng.Run(g, program)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = stats.Delivered
+		setupTotal += stats.SetupNanos
+	}
+	b.ReportMetric(float64(setupTotal)/float64(b.N), "setup-ns")
+	b.ReportMetric((float64(b.Elapsed().Nanoseconds())-float64(setupTotal))/float64(b.N), "round-ns")
+	if delivered > 0 {
+		b.ReportMetric(float64(delivered)*float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+	}
+}
+
 // Graphs are built once per process: generator cost (especially the
 // configuration-model expander) must not pollute engine timings.
 var benchGraphs struct {
@@ -96,19 +124,25 @@ func benchSetup() {
 	})
 }
 
+// The serial benchmarks pin DeliveryShards to -1 (explicit serial):
+// Options zero now resolves to one shard per CPU, and the regression
+// gate needs these workloads to measure the same configuration on
+// every runner and against every baseline. The sharded configuration
+// is measured by the *Shards variants.
+
 func BenchmarkEnginePathExchange(b *testing.B) {
 	benchSetup()
-	benchRun(b, benchGraphs.path, Options{}, exchangeProgram(8))
+	benchRun(b, benchGraphs.path, Options{DeliveryShards: -1}, exchangeProgram(8))
 }
 
 func BenchmarkEngineExpanderExchange(b *testing.B) {
 	benchSetup()
-	benchRun(b, benchGraphs.expander, Options{}, exchangeProgram(8))
+	benchRun(b, benchGraphs.expander, Options{DeliveryShards: -1}, exchangeProgram(8))
 }
 
 func BenchmarkEngineCommunityExchange(b *testing.B) {
 	benchSetup()
-	benchRun(b, benchGraphs.community, Options{}, exchangeProgram(8))
+	benchRun(b, benchGraphs.community, Options{DeliveryShards: -1}, exchangeProgram(8))
 }
 
 // BenchmarkEngineExpanderSparse: two nodes chatting on a 10k-node
@@ -118,14 +152,15 @@ func BenchmarkEngineExpanderSparse(b *testing.B) {
 	benchSetup()
 	g := benchGraphs.expander
 	peer := g.Adj(0)[0].Peer
-	benchRun(b, g, Options{}, pingPongProgram(0, peer, 256))
+	benchRun(b, g, Options{DeliveryShards: -1}, pingPongProgram(0, peer, 256))
 }
 
 // BenchmarkEngineExpanderWorkers runs the dense exchange in lane mode,
 // bounding concurrently runnable node programs by GOMAXPROCS.
 func BenchmarkEngineExpanderWorkers(b *testing.B) {
 	benchSetup()
-	benchRun(b, benchGraphs.expander, Options{Workers: runtime.GOMAXPROCS(0)}, exchangeProgram(8))
+	benchRun(b, benchGraphs.expander,
+		Options{Workers: runtime.GOMAXPROCS(0), DeliveryShards: -1}, exchangeProgram(8))
 }
 
 // BenchmarkEngineExpanderShards runs the dense exchange with the
@@ -138,7 +173,11 @@ func BenchmarkEngineExpanderShards(b *testing.B) {
 // Million-scale workloads: graphs the seed engine could not simulate at
 // interactive speed (the pre-rewrite scheduler scanned all n nodes per
 // round and allocated per edge). Graph generation is excluded from
-// timings via ResetTimer; graphs build once per process.
+// timings via ResetTimer; graphs build once per process. All three run
+// on reusable engines and report the setup-ns/round-ns split, so the
+// regression gate can watch steady-state round cost while the
+// kernel-bound setup tax (now paid once per engine, not once per run)
+// is tracked separately.
 var millionGraphs struct {
 	once     sync.Once
 	path     *graph.Graph // 2^20 nodes, ~1M edges, diameter n-1
@@ -154,24 +193,55 @@ func millionSetup(b *testing.B) {
 	b.ResetTimer()
 }
 
+// BenchmarkEngineMillionPathReuse is the engine-reuse headline: one
+// warm engine runs the sparse million-node ping-pong twice per
+// iteration, and the cold (first ever) and warm (second) setup times
+// are reported side by side. Before lazy activation and slab retention
+// the first run paid 7-25 s of goroutine stacks and page zeroing; the
+// warm run's setup is the dirty-region reset only. Runs first so the
+// slabs it releases seed the pools for the other million workloads.
+func BenchmarkEngineMillionPathReuse(b *testing.B) {
+	millionSetup(b)
+	g := millionGraphs.path
+	program := pingPongProgram(0, g.Adj(0)[0].Peer, 64)
+	eng := NewEngine(Options{Workers: runtime.GOMAXPROCS(0)})
+	defer eng.Close()
+	var cold, warm int64
+	for i := 0; i < b.N; i++ {
+		s1, err := eng.Run(g, program)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s2, err := eng.Run(g, program)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			cold, warm = s1.SetupNanos, s2.SetupNanos
+		}
+	}
+	b.ReportMetric(float64(cold), "setup-cold-ns")
+	b.ReportMetric(float64(warm), "setup-warm-ns")
+}
+
 // BenchmarkEngineMillionExpanderExchange: a full exchange round on a
 // million-edge 8-regular expander — 2M messages delivered per run with
 // every node active, the headline scaling workload.
 func BenchmarkEngineMillionExpanderExchange(b *testing.B) {
 	millionSetup(b)
-	benchRun(b, millionGraphs.expander,
+	benchRunSplit(b, millionGraphs.expander,
 		Options{Workers: runtime.GOMAXPROCS(0), DeliveryShards: runtime.GOMAXPROCS(0)},
 		exchangeProgram(1))
 }
 
 // BenchmarkEngineMillionPathSparse: two adjacent nodes chatting on a
-// million-node path. Dominated by engine setup and teardown at n = 2^20
-// (goroutine, slab, and kernel page-zeroing churn) — the per-run cost
-// floor for million-node simulations. Runs after the expander workload
-// so its transient multi-GB footprint cannot distort that measurement.
+// million-node path — the per-run cost floor for million-node
+// simulations. With lazy node activation the 2^20 immediate-exit
+// programs recycle a handful of goroutine stacks instead of faulting
+// in one per node, and setup-ns isolates what per-run setup remains.
 func BenchmarkEngineMillionPathSparse(b *testing.B) {
 	millionSetup(b)
 	g := millionGraphs.path
-	benchRun(b, g, Options{Workers: runtime.GOMAXPROCS(0)},
+	benchRunSplit(b, g, Options{Workers: runtime.GOMAXPROCS(0)},
 		pingPongProgram(0, g.Adj(0)[0].Peer, 64))
 }

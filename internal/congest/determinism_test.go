@@ -104,6 +104,139 @@ func TestDeterminismAcrossModes(t *testing.T) {
 	}
 }
 
+// TestReusedEngineDeterminism: a reused engine must produce
+// bit-identical Stats to a fresh engine, on every generator family and
+// execution mode — across repeat runs on the same graph (the warm
+// dirty-region reset path) and across runs that interleave different
+// graphs on one engine (the slab-reuse-with-rebuild path).
+func TestReusedEngineDeterminism(t *testing.T) {
+	gp := runtime.GOMAXPROCS(0)
+	modes := []struct {
+		name            string
+		workers, shards int
+	}{
+		{"serial", 0, -1},
+		{"workers-2", 2, -1},
+		{"shards-2", 0, 2},
+		{"workers-gomaxprocs-shards-gomaxprocs", gp, gp},
+	}
+	families := determinismFamilies()
+	for _, m := range modes {
+		opts := Options{Seed: 42, Workers: m.workers, DeliveryShards: m.shards}
+		t.Run(m.name, func(t *testing.T) {
+			// Fresh-engine baselines.
+			want := map[string]statsKey{}
+			for name, g := range families {
+				stats, err := Run(g, opts, chatterProgram)
+				if err != nil {
+					t.Fatalf("%s fresh: %v", name, err)
+				}
+				want[name] = keyOf(stats)
+			}
+			// One engine, three consecutive runs per family: run 2 and 3
+			// exercise the warm same-graph path.
+			for name, g := range families {
+				eng := NewEngine(opts)
+				for i := 0; i < 3; i++ {
+					stats, err := eng.Run(g, chatterProgram)
+					if err != nil {
+						t.Fatalf("%s reuse run %d: %v", name, i, err)
+					}
+					if got := keyOf(stats); got != want[name] {
+						t.Fatalf("%s reuse run %d diverged: got %+v, want %+v", name, i, got, want[name])
+					}
+				}
+				eng.Close()
+			}
+			// One engine across every family, twice over: each switch
+			// rebuilds port tables while keeping whatever slabs fit.
+			eng := NewEngine(opts)
+			defer eng.Close()
+			order := []string{"path", "expander", "community", "complete"}
+			for round := 0; round < 2; round++ {
+				for _, name := range order {
+					stats, err := eng.Run(families[name], chatterProgram)
+					if err != nil {
+						t.Fatalf("%s cross-graph round %d: %v", name, round, err)
+					}
+					if got := keyOf(stats); got != want[name] {
+						t.Fatalf("%s cross-graph round %d diverged: got %+v, want %+v", name, round, got, want[name])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReusedEngineAfterAbort: an aborted run (deadlock, panic) must not
+// poison the engine — the next Run recarves everything and behaves like
+// a fresh engine.
+func TestReusedEngineAfterAbort(t *testing.T) {
+	g := graph.RandomRegular(64, 6, 11)
+	fresh, err := Run(g, Options{Seed: 42}, chatterProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(Options{Seed: 42})
+	defer eng.Close()
+	// Deadlock abort: every node parks in Recv with no traffic.
+	if _, err := eng.Run(g, func(nd *Node) { nd.Recv(MatchKind(kindToken)) }); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	stats, err := eng.Run(g, chatterProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyOf(stats) != keyOf(fresh) {
+		t.Fatalf("post-abort run diverged: got %+v, want %+v", keyOf(stats), keyOf(fresh))
+	}
+	// Panic abort mid-traffic leaves staged messages behind; the next
+	// run must still match.
+	if _, err := eng.Run(g, func(nd *Node) {
+		nd.SendAll(Message{Kind: kindData})
+		if nd.ID() == 3 {
+			panic("boom")
+		}
+		for i := 0; i < nd.Degree(); i++ {
+			nd.Recv(MatchKind(kindData))
+		}
+	}); err == nil {
+		t.Fatal("expected panic error")
+	}
+	stats, err = eng.Run(g, chatterProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyOf(stats) != keyOf(fresh) {
+		t.Fatalf("post-panic run diverged: got %+v, want %+v", keyOf(stats), keyOf(fresh))
+	}
+}
+
+// TestWarmRunRetainsSlabs (whitebox): a second Run on the same graph
+// must reuse the exact backing arrays of the first — the structural
+// guarantee behind the near-zero warm setup-ns — and report a setup
+// measurement.
+func TestWarmRunRetainsSlabs(t *testing.T) {
+	g := graph.RandomRegular(512, 6, 5)
+	eng := NewEngine(Options{Seed: 7})
+	defer eng.Close()
+	if _, err := eng.Run(g, chatterProgram); err != nil {
+		t.Fatal(err)
+	}
+	q0, m0, n0, w0 := &eng.qSlab[0], &eng.msgSlab[0], &eng.nodeSlab[0], &eng.wakeChs[0]
+	stats, err := eng.Run(g, chatterProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &eng.qSlab[0] != q0 || &eng.msgSlab[0] != m0 || &eng.nodeSlab[0] != n0 || &eng.wakeChs[0] != w0 {
+		t.Fatal("warm run replaced a retained slab")
+	}
+	if stats.SetupNanos <= 0 {
+		t.Fatalf("SetupNanos = %d, want > 0", stats.SetupNanos)
+	}
+	t.Logf("warm setup: %d ns", stats.SetupNanos)
+}
+
 // TestDeterminismUnbounded: the span-copy delivery of Unbounded mode
 // must stay bit-identical across serial, sharded, and lane execution.
 func TestDeterminismUnbounded(t *testing.T) {

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"distmincut/internal/graph"
 )
@@ -32,13 +34,20 @@ type Options struct {
 	// runnable goroutines. Zero (the default) wakes every scheduled
 	// node at once. Stats are identical in both modes for a given seed.
 	Workers int
-	// DeliveryShards, when at least 2, partitions the sender registry
-	// by node-ID range into that many shards and runs the delivery and
-	// receive-matching phases on that many worker goroutines. Delivery
-	// order is order-independent (each (sender, port) pair feeds its
-	// own per-port FIFO at the peer; see the package docs), so Stats
-	// are bit-identical to serial delivery for a given seed. Zero or
-	// one delivers serially on the coordinator goroutine.
+	// DeliveryShards partitions the sender registry by node-ID range
+	// into that many shards and runs the delivery and receive-matching
+	// phases on that many worker goroutines. Delivery order is
+	// order-independent (each (sender, port) pair feeds its own
+	// per-port FIFO at the peer; see the package docs), so Stats are
+	// bit-identical to serial delivery for a given seed and shard
+	// count.
+	//
+	// Zero (the default) picks the measured default: one shard per
+	// available CPU (GOMAXPROCS), which degrades to serial delivery on
+	// a single-CPU machine — sharding only buys anything when shards
+	// run on distinct cores (see the "Delivery shard default" note in
+	// README.md). A negative value (or 1) forces serial delivery on
+	// the coordinator goroutine.
 	DeliveryShards int
 	// Interrupt, when non-nil, makes the run abort with ErrInterrupted
 	// as soon as the channel is closed (or receives a value). The
@@ -60,6 +69,28 @@ type Options struct {
 	// near the int64 range almost always means a packing overflowed.
 	// Off by default (it adds a branch to the Send fast path).
 	CheckPayload bool
+}
+
+// normalize fills Options defaults. DeliveryShards resolves its
+// measured default here, so an Engine's shard count is a pure function
+// of its (normalized) options.
+func normalize(opts Options) Options {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = DefaultMaxRounds
+	}
+	if opts.Workers < 0 {
+		opts.Workers = 0
+	}
+	if opts.DeliveryShards == 0 {
+		opts.DeliveryShards = runtime.GOMAXPROCS(0)
+	}
+	if opts.DeliveryShards < 2 {
+		opts.DeliveryShards = 1
+	}
+	return opts
 }
 
 // DefaultMaxRounds is the default safety cap on simulated rounds.
@@ -87,33 +118,69 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("congest: node %d panicked: %v", e.Node, e.Value)
 }
 
-// Engine drives one simulation with a round-synchronous scheduler.
-// Create with Run; it is not reusable.
+// Engine is a reusable round-synchronous CONGEST simulator. Create one
+// with NewEngine and call Run once per simulation; the engine retains
+// its slabs (node structs, queue headers, message rings, wake channels)
+// and port tables between runs, so a warm engine's per-run setup is a
+// handful of dirty-region resets instead of allocating and re-zeroing
+// hundreds of megabytes. Repeat runs on the same *graph.Graph skip the
+// port-table rebuild entirely; runs on a different graph reuse every
+// slab whose capacity suffices. Close releases the retained slabs back
+// to the process-wide pools (the engine stays usable — the next Run
+// simply re-acquires them). An Engine runs one simulation at a time;
+// none of its methods are safe for concurrent use. The one-shot
+// package-level Run wraps NewEngine + Run + Close.
+//
+// Node goroutines start lazily: a node's goroutine is spawned at its
+// first activation and a node's wake channel is created at its first
+// park, so programs that exit without parking (sparse workloads,
+// early-terminating protocol phases) never pay a wake channel — and,
+// in lane mode (Options.Workers > 0), effectively no stack either:
+// chained activations let each exiting program free its goroutine
+// before the next spawns, so a million-node graph whose programs exit
+// immediately keeps only ~Workers stacks live at once instead of
+// faulting in a million.
 //
 // The scheduler's round loop allocates nothing in steady state: the
 // sender registry, receiver set, wake list, and park notifications all
 // live in reusable per-engine buffers, every queue's initial ring is
-// carved out of one per-run message slab recycled through a global
-// pool, and grown rings come from a shared size-class pool. Per round
-// the coordinator (1) merges newly registered senders into per-shard
-// registries, (2) runs the delivery phase — serially, or fanned out
-// over Options.DeliveryShards worker goroutines, each moving whole
-// ring spans per port and stamping receivers into its own
-// epoch-numbered generation array — then merges per-shard delivered
-// counts and receiver sets, (3) computes the wake list from satisfied
-// Recv predicates (evaluated in parallel over the same shards when the
-// receiver set is large) and due sleepers, and (4) dispatches it —
-// either waking every node at once or releasing Options.Workers lane
-// permits that parking nodes chain forward.
+// carved out of one retained message slab, and grown rings come from a
+// shared size-class pool. Per round the coordinator (1) merges newly
+// registered senders into per-shard registries, (2) runs the delivery
+// phase — serially, or fanned out over Options.DeliveryShards worker
+// goroutines, each moving whole ring spans per port and stamping
+// receivers into its own epoch-numbered generation array — then merges
+// per-shard delivered counts and receiver sets, (3) computes the wake
+// list from satisfied Recv predicates (evaluated in parallel over the
+// same shards when the receiver set is large) and due sleepers, and
+// (4) dispatches it — either waking every node at once or releasing
+// Options.Workers lane permits that parking nodes chain forward.
 type Engine struct {
-	g     *graph.Graph
-	opts  Options
-	nodes []*Node
+	g       *graph.Graph
+	opts    Options
+	program func(*Node)
+	nodes   []*Node
 
 	round     int
 	delivered int64
 	wakeups   int64
 	aborted   atomic.Bool
+
+	// runGen numbers the engine's runs; per-node RNGs compare it to
+	// reseed lazily on their first use in each run.
+	runGen uint32
+
+	// needFullInit forces the next Run to rebuild port tables, recarve
+	// every queue, and reinitialize every node: set on engine creation,
+	// graph change, Close, and after any aborted run (an abort can
+	// leave traffic in arbitrary queues, beyond what the dirty-node
+	// list covers).
+	needFullInit bool
+
+	// setupNanos is the wall time the last Run spent in per-run setup
+	// (everything before the first node activation); surfaced as
+	// Stats.SetupNanos.
+	setupNanos int64
 
 	// revPort[portOff[u]+p] is the port index at the peer for port p of
 	// node u, precomputed flat so delivery is O(1) per message with no
@@ -131,10 +198,19 @@ type Engine struct {
 	newCount    atomic.Int32
 	senderCount int
 
+	// dirtyNodes lists every node that registered as a sender at least
+	// once this run. Between runs on the same graph only these nodes'
+	// queues (their send rings plus the receive rings they fed at their
+	// peers) need resetting — the dirty-region alternative to recarving
+	// all 2·ports queue headers.
+	dirtyNodes []*Node
+
 	// Delivery shards. Serial mode is the one-shard special case run
-	// inline on the coordinator; with DeliveryShards >= 2 each shard
-	// owns a goroutine, a node-ID range of the sender registry, and its
-	// own epoch-stamped receiver state, merged after every delivery.
+	// inline on the coordinator; with a resolved shard count >= 2 each
+	// shard owns a node-ID range of the sender registry and its own
+	// epoch-stamped receiver state, merged after every delivery. Shard
+	// worker goroutines are spawned per run (they are few) while the
+	// shard structs and their generation arrays are retained.
 	shards    []*deliveryShard
 	shardDone chan struct{}
 
@@ -151,17 +227,22 @@ type Engine struct {
 	// (kept small so delivery can hold it in cache); msgSlab backs the
 	// initial ring of every queue (one bulk carve instead of 2*ports
 	// small allocations; nil when the graph is too large and rings are
-	// pooled lazily); wakeChs is the slab of per-node wake channels.
-	// All three are recycled through global pools when the run ends, so
-	// repeated runs allocate none of them.
-	qSlab   []queue
-	msgSlab []Message
-	wakeChs []chan struct{}
+	// pooled lazily); wakeChs is the slab of per-node wake channels,
+	// filled lazily as nodes first park. All three are retained by the
+	// engine across runs and recycled through global pools on Close, so
+	// repeated runs allocate none of them. Message slots are never
+	// zeroed: Message holds no pointers and ring slots are written
+	// before they are read.
+	qSlab    []queue
+	msgSlab  []Message
+	wakeChs  []chan struct{}
+	nodeSlab []Node
 
 	// Park barrier: every dispatched node ends its activation in
 	// notifyPark, which counts running down and signals roundDone at
 	// zero. In lane mode (Options.Workers > 0) a parking node first
-	// chains its lane to the next scheduled node, so a round costs one
+	// chains its lane to the next scheduled node — spawning that node's
+	// goroutine if this is its first activation — so a round costs one
 	// batch of Workers wake permits instead of a per-node handshake
 	// with pool goroutines. Nodes that parked in Sleep or exited are
 	// queued on notified for the coordinator (Recv parks need no
@@ -223,19 +304,21 @@ const (
 // allocation so slab size never exceeds ~2.7 GB.
 const maxPreallocMessages = 1 << 26
 
-// qSlabPool, msgSlabPool, and wakeChPool recycle the three per-run
-// slabs across engines (runs dominated by engine setup, e.g. repeated
-// benchmark iterations, stop paying for them after the first run).
-// Each is bucketed by power-of-two capacity class so engines of
-// different sizes never evict each other's slabs (a pooled slab is
-// always big enough for any request of its class). Queue headers are
-// re-initialized on reuse; message slots need no zeroing since Message
-// holds no pointers and ring slots are written before they are read;
-// wake channels are always drained when a run ends.
+// qSlabPool, msgSlabPool, wakeChPool, and nodeSlabPool recycle the
+// per-engine slabs across engines (one-shot runs via the package-level
+// Run acquire and release them per call, so even independent engines
+// stop paying for slab allocation after the first run). Each is
+// bucketed by power-of-two capacity class so engines of different
+// sizes never evict each other's slabs (a pooled slab is always big
+// enough for any request of its class). Queue headers and node structs
+// are fully re-initialized on reuse; message slots need no zeroing
+// since Message holds no pointers and ring slots are written before
+// they are read; wake channels are always drained when a run ends.
 var (
-	qSlabPool   [48]sync.Pool
-	msgSlabPool [48]sync.Pool
-	wakeChPool  [48]sync.Pool
+	qSlabPool    [48]sync.Pool
+	msgSlabPool  [48]sync.Pool
+	wakeChPool   [48]sync.Pool
+	nodeSlabPool [48]sync.Pool
 )
 
 // slabClass is the pool bucket for a request of n elements: slabs in
@@ -263,83 +346,261 @@ func getMsgSlab(n int) []Message {
 	return make([]Message, 1<<c)[:n]
 }
 
-func getWakeChs(n int) []chan struct{} {
+// getWakeSlab returns a wake-channel slab. Slots may hold drained
+// channels from a previous engine (reused as-is) or nil (a channel is
+// created the first time that node parks).
+func getWakeSlab(n int) []chan struct{} {
 	c := slabClass(n)
-	var s []chan struct{}
 	if v := wakeChPool[c].Get(); v != nil {
-		s = v.([]chan struct{})[:n]
-	} else {
-		s = make([]chan struct{}, 1<<c)[:n]
+		return v.([]chan struct{})[:n]
 	}
-	for i := range s {
-		if s[i] == nil {
-			s[i] = make(chan struct{}, 1)
-		}
+	return make([]chan struct{}, 1<<c)[:n]
+}
+
+func getNodeSlab(n int) []Node {
+	c := slabClass(n)
+	if v := nodeSlabPool[c].Get(); v != nil {
+		return v.([]Node)[:n]
 	}
-	return s
+	return make([]Node, 1<<c)[:n]
+}
+
+// putNodeSlab releases a node slab, clearing every field that points
+// outside the slab's own reusable state (graph adjacency, engine,
+// queue and wake-channel slices, match closures) so a pooled slab
+// cannot pin the last run's graph or engine until sync.Pool eviction.
+// Per-node RNGs are deliberately kept: they reference only their own
+// generator state and are reseeded on reuse.
+func putNodeSlab(slab []Node) {
+	slab = slab[:cap(slab)]
+	for i := range slab {
+		nd := &slab[i]
+		nd.eng = nil
+		nd.adj = nil
+		nd.outQ = nil
+		nd.inQ = nil
+		nd.wakeCh = nil
+		nd.match = nil
+		nd.panicVal = nil
+	}
+	nodeSlabPool[slabClass(cap(slab))].Put(slab) //nolint:staticcheck // slice header cost is amortized over the slab
+}
+
+// NewEngine creates a reusable engine with the given options. The
+// engine allocates nothing until its first Run.
+func NewEngine(opts Options) *Engine {
+	return &Engine{
+		opts:         normalize(opts),
+		roundDone:    make(chan struct{}, 1),
+		needFullInit: true,
+	}
+}
+
+// SetOptions replaces the engine's options between runs. Structural
+// knobs (DeliveryShards) take effect at the next Run; per-run knobs
+// (Seed, Interrupt, Progress, ...) apply exactly as if the engine had
+// been created with them. Must not be called while a Run is in flight.
+func (e *Engine) SetOptions(opts Options) {
+	e.opts = normalize(opts)
+}
+
+// Close releases the engine's retained slabs back to the process-wide
+// pools. The engine remains usable: a later Run re-acquires fresh
+// slabs. Closing between runs is how the one-shot package-level Run
+// keeps slab reuse working across independent engines.
+func (e *Engine) Close() {
+	if e.qSlab != nil {
+		qSlabPool[slabClass(cap(e.qSlab))].Put(e.qSlab) //nolint:staticcheck // slice header cost is amortized over the slab
+		e.qSlab = nil
+	}
+	if e.msgSlab != nil {
+		msgSlabPool[slabClass(cap(e.msgSlab))].Put(e.msgSlab) //nolint:staticcheck
+		e.msgSlab = nil
+	}
+	if e.wakeChs != nil {
+		wakeChPool[slabClass(cap(e.wakeChs))].Put(e.wakeChs) //nolint:staticcheck
+		e.wakeChs = nil
+	}
+	if e.nodeSlab != nil {
+		putNodeSlab(e.nodeSlab)
+		e.nodeSlab = nil
+	}
+	e.g = nil
+	e.nodes = nil
+	e.dirtyNodes = nil // pointers into the released node slab
+	e.needFullInit = true
 }
 
 // Run simulates program on every node of g and returns run statistics.
 // The graph must be connected and have deterministic port numbering
-// (generators call SortAdjacency; see graph docs).
+// (generators call SortAdjacency; see graph docs). One-shot form of
+// (*Engine).Run; see Engine for the reusable lifecycle.
 func Run(g *graph.Graph, opts Options, program func(*Node)) (*Stats, error) {
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	if opts.MaxRounds == 0 {
-		opts.MaxRounds = DefaultMaxRounds
-	}
-	if opts.Workers < 0 {
-		opts.Workers = 0
-	}
-	n := g.N()
-	nShards := opts.DeliveryShards
-	if nShards < 2 {
-		nShards = 1
-	}
-	if nShards > n {
-		nShards = n
-	}
-	e := &Engine{
-		g:          g,
-		opts:       opts,
-		nodes:      make([]*Node, n),
-		newSenders: make([]*Node, n),
-		roundDone:  make(chan struct{}, 1),
-		workers:    opts.Workers,
-	}
-	e.buildRevPorts()
-	e.shards = make([]*deliveryShard, nShards)
-	for s := range e.shards {
-		e.shards[s] = &deliveryShard{eng: e, recvGen: make([]uint32, n)}
-	}
-	if nShards > 1 {
-		e.recvGen = make([]uint32, n)
-		e.shardDone = make(chan struct{}, nShards)
-		for _, sh := range e.shards {
-			sh.taskCh = make(chan shardTask, 1)
-			go sh.loop()
+	e := NewEngine(opts)
+	defer e.Close()
+	return e.Run(g, program)
+}
+
+// Run executes program on every node of g. Stats are bit-identical to
+// a fresh engine's for the same graph, options, and seed — reuse never
+// leaks state between runs. The graph must not be mutated between runs
+// that share it.
+func (e *Engine) Run(g *graph.Graph, program func(*Node)) (*Stats, error) {
+	start := time.Now()
+	e.setupRun(g, program)
+	e.setupNanos = time.Since(start).Nanoseconds()
+	err := e.coordinate()
+	e.termWG.Wait()
+	for _, sh := range e.shards {
+		if sh.taskCh != nil {
+			close(sh.taskCh)
+			sh.taskCh = nil
 		}
 	}
-	// All per-node queue headers live in one pooled slab and Node
-	// structs in one more; each queue's initial ring is carved out of
-	// one pooled message slab, and wake channels come from a recycled
-	// slab, so engine setup is a handful of bulk allocations regardless
-	// of n.
-	nodeSlab := make([]Node, n)
+	stats := e.collectAndReset()
+	if err != nil {
+		// An abort can strand messages in arbitrary queues; recarve
+		// everything next time rather than trusting the dirty list.
+		e.needFullInit = true
+	}
+	return stats, err
+}
+
+// setupRun prepares the engine for one run: per-run counters, shard
+// reconciliation, and either a full (re)build of the port tables,
+// slabs, and node structs — first run, new graph, or after an abort —
+// or the warm path, which resets only the queues the previous run
+// dirtied.
+func (e *Engine) setupRun(g *graph.Graph, program func(*Node)) {
+	n := g.N()
+	e.program = program
+	e.workers = e.opts.Workers
+	e.round = 0
+	e.delivered = 0
+	e.wakeups = 0
+	e.aborted.Store(false)
+	e.runGen++
+	e.marks = nil
+	e.notified = e.notified[:0]
+	e.receivers = e.receivers[:0]
+	e.newCount.Store(0)
+	e.senderCount = 0
+	e.sleepers = e.sleepers[:0]
+
+	full := e.needFullInit || g != e.g
+	e.g = g
+	if full {
+		e.buildRevPorts()
+	}
 	ports := len(e.revPort)
-	e.qSlab = getQSlab(2 * ports)
-	qSlab := e.qSlab
+
+	// Shard reconciliation: the resolved count is min(option, n) so
+	// tiny graphs never pay per-round task fan-out for idle shards.
+	// Generation arrays are retained with their shard structs.
+	want := e.opts.DeliveryShards
+	if want > n {
+		want = n
+	}
+	if len(e.shards) != want {
+		e.shards = make([]*deliveryShard, want)
+		for s := range e.shards {
+			e.shards[s] = &deliveryShard{eng: e, recvGen: make([]uint32, n)}
+		}
+		if want > 1 {
+			e.shardDone = make(chan struct{}, want)
+		}
+	}
+	for _, sh := range e.shards {
+		sh.senders = sh.senders[:0]
+		sh.receivers = sh.receivers[:0]
+		sh.delivered = 0
+		if len(sh.recvGen) < n {
+			sh.recvGen = make([]uint32, n)
+			sh.curGen = 0
+		}
+	}
+	if len(e.shards) > 1 {
+		if len(e.recvGen) < n {
+			e.recvGen = make([]uint32, n)
+			e.curGen = 0
+		}
+		for _, sh := range e.shards {
+			sh.taskCh = make(chan shardTask, 1)
+			go sh.loop(sh.taskCh)
+		}
+	}
+
+	if !full {
+		// Warm path: everything structural is already in place; node
+		// fields were reset when the previous run ended. Only the
+		// queues dirtied last run need restoring to their carved state.
+		e.resetDirtyQueues()
+		return
+	}
+
+	if cap(e.newSenders) < n {
+		e.newSenders = make([]*Node, n)
+	} else {
+		e.newSenders = e.newSenders[:n]
+	}
+	if cap(e.nodes) < n {
+		e.nodes = make([]*Node, n)
+	} else {
+		e.nodes = e.nodes[:n]
+	}
+	e.dirtyNodes = e.dirtyNodes[:0]
+
+	// Acquire or right-size the slabs. A slab whose capacity suffices
+	// is reused in place; an undersized one returns to its pool and a
+	// larger one is drawn (possibly from another engine's release).
+	if cap(e.qSlab) < 2*ports {
+		if e.qSlab != nil {
+			qSlabPool[slabClass(cap(e.qSlab))].Put(e.qSlab) //nolint:staticcheck
+		}
+		e.qSlab = getQSlab(2 * ports)
+	} else {
+		e.qSlab = e.qSlab[:2*ports]
+	}
 	if want := ports * (slabOutCap + slabInCap); want <= maxPreallocMessages {
-		// Carve each queue's initial ring from the slab: send queues get
-		// slabOutCap slots, receive queues slabInCap (see queue.go). The
-		// layout is segregated, not interleaved — qSlab[0:ports] holds
-		// every send-queue header in port order and qSlab[ports:] every
-		// receive-queue header, with rings carved in the same two passes
-		// — so the randomly-addressed receive-side state that delivery
-		// hits (headers + small rings) is compact enough to stay
-		// cache-resident instead of being strewn through the whole slab.
-		e.msgSlab = getMsgSlab(want)
+		if cap(e.msgSlab) < want {
+			if e.msgSlab != nil {
+				msgSlabPool[slabClass(cap(e.msgSlab))].Put(e.msgSlab) //nolint:staticcheck
+			}
+			e.msgSlab = getMsgSlab(want)
+		} else {
+			e.msgSlab = e.msgSlab[:want]
+		}
+	} else if e.msgSlab != nil {
+		msgSlabPool[slabClass(cap(e.msgSlab))].Put(e.msgSlab) //nolint:staticcheck
+		e.msgSlab = nil
+	}
+	if cap(e.wakeChs) < n {
+		if e.wakeChs != nil {
+			wakeChPool[slabClass(cap(e.wakeChs))].Put(e.wakeChs) //nolint:staticcheck
+		}
+		e.wakeChs = getWakeSlab(n)
+	} else {
+		e.wakeChs = e.wakeChs[:n]
+	}
+	if cap(e.nodeSlab) < n {
+		if e.nodeSlab != nil {
+			putNodeSlab(e.nodeSlab)
+		}
+		e.nodeSlab = getNodeSlab(n)
+	} else {
+		e.nodeSlab = e.nodeSlab[:n]
+	}
+
+	// Carve each queue's initial ring from the slab: send queues get
+	// slabOutCap slots, receive queues slabInCap (see queue.go). The
+	// layout is segregated, not interleaved — qSlab[0:ports] holds
+	// every send-queue header in port order and qSlab[ports:] every
+	// receive-queue header, with rings carved in the same two passes
+	// — so the randomly-addressed receive-side state that delivery
+	// hits (headers + small rings) is compact enough to stay
+	// cache-resident instead of being strewn through the whole slab.
+	qSlab := e.qSlab
+	if e.msgSlab != nil {
 		for i := 0; i < ports; i++ {
 			off := i * slabOutCap
 			qSlab[i] = queue{buf: e.msgSlab[off : off+slabOutCap : off+slabOutCap]}
@@ -354,54 +615,103 @@ func Run(g *graph.Graph, opts Options, program func(*Node)) (*Stats, error) {
 			qSlab[i] = queue{}
 		}
 	}
-	e.wakeChs = getWakeChs(n)
 	for i := 0; i < n; i++ {
 		adj := g.Adj(graph.NodeID(i))
 		off := int(e.portOff[i])
-		nd := &nodeSlab[i]
+		nd := &e.nodeSlab[i]
+		rng := nd.rng // survives reinit; reseeded lazily via runGen
 		*nd = Node{
 			id:       graph.NodeID(i),
 			eng:      e,
 			adj:      adj,
+			rng:      rng,
 			outQ:     qSlab[off : off+len(adj)],
 			inQ:      qSlab[ports+off : ports+off+len(adj)],
 			wakeCh:   e.wakeChs[i],
-			phase:    phaseRunning,
 			hintPort: -1,
 		}
 		e.nodes[i] = nd
 	}
-	e.termWG.Add(n)
-	for _, nd := range e.nodes {
-		go e.nodeMain(nd, program)
-	}
-	stats, err := e.coordinate()
-	e.termWG.Wait()
-	for _, sh := range e.shards {
-		if sh.taskCh != nil {
-			close(sh.taskCh)
-		}
-	}
-	// Recycle the slabs (into the bucket matching their power-of-two
-	// capacity). Every node goroutine has exited and every wake signal
-	// was consumed by a park (or the abort unwind), so the channels are
-	// drained; queue headers are re-initialized on reuse and Message
-	// buffers hold no pointers.
-	qSlabPool[slabClass(cap(e.qSlab))].Put(e.qSlab) //nolint:staticcheck // slice header cost is amortized over the slab
-	e.qSlab = nil
-	if e.msgSlab != nil {
-		msgSlabPool[slabClass(cap(e.msgSlab))].Put(e.msgSlab) //nolint:staticcheck
-		e.msgSlab = nil
-	}
-	wakeChPool[slabClass(cap(e.wakeChs))].Put(e.wakeChs) //nolint:staticcheck
-	e.wakeChs = nil
-	return stats, err
+	e.needFullInit = false
 }
 
-// nodeMain hosts one node program. The goroutine blocks until the
-// scheduler dispatches its initial activation, so lane mode bounds
-// concurrency from the very first instruction.
-func (e *Engine) nodeMain(nd *Node, program func(*Node)) {
+// resetDirtyQueues restores the carved state of every queue the last
+// run touched: each dirty node's send rings plus, via the reverse port
+// table, the exact receive rings those sends fed at its peers. Grown
+// rings return to the shared pool. Clean queues — the vast majority on
+// sparse or early-terminating workloads — are left exactly as the
+// carve pass wrote them.
+func (e *Engine) resetDirtyQueues() {
+	ports := len(e.revPort)
+	for _, nd := range e.dirtyNodes {
+		off := int(e.portOff[nd.id])
+		for p := range nd.adj {
+			q := &e.qSlab[off+p]
+			if e.msgSlab != nil {
+				if len(q.buf) != slabOutCap {
+					msgBufPool.put(q.buf)
+					mo := (off + p) * slabOutCap
+					q.buf = e.msgSlab[mo : mo+slabOutCap : mo+slabOutCap]
+				}
+				q.head, q.n = 0, 0
+			} else {
+				msgBufPool.put(q.buf)
+				*q = queue{}
+			}
+			po := int(e.portOff[nd.adj[p].Peer]) + int(e.revPort[off+p])
+			iq := &e.qSlab[ports+po]
+			if e.msgSlab != nil {
+				if len(iq.buf) != slabInCap {
+					msgBufPool.put(iq.buf)
+					mo := ports*slabOutCap + po*slabInCap
+					iq.buf = e.msgSlab[mo : mo+slabInCap : mo+slabInCap]
+				}
+				iq.head, iq.n = 0, 0
+			} else {
+				msgBufPool.put(iq.buf)
+				*iq = queue{}
+			}
+		}
+		nd.nonEmptyOut = 0
+		nd.outDirty = false
+		nd.everDirty = false
+	}
+	e.dirtyNodes = e.dirtyNodes[:0]
+}
+
+// collectAndReset assembles the run's Stats and, in the same walk,
+// resets the per-node fields the run mutated (phase, sent counter,
+// match closure, panic value, hint) so the next warm Run's setup does
+// not need its own O(n) pass. Called after every node goroutine has
+// exited.
+func (e *Engine) collectAndReset() *Stats {
+	var sent, leftover int64
+	for _, nd := range e.nodes {
+		sent += nd.sent
+		nd.sent = 0
+		for p := range nd.inQ {
+			leftover += int64(nd.inQ[p].n)
+		}
+		nd.phase = phaseIdle
+		nd.match = nil
+		nd.panicVal = nil
+		nd.hintPort = -1
+	}
+	return &Stats{
+		Rounds:     e.round,
+		Sent:       sent,
+		Delivered:  e.delivered,
+		Wakeups:    e.wakeups,
+		Leftover:   leftover,
+		Marks:      e.marks,
+		SetupNanos: e.setupNanos,
+	}
+}
+
+// runNode hosts one node program, spawned at the node's first
+// activation (the program starts executing immediately; there is no
+// initial wake handshake).
+func (e *Engine) runNode(nd *Node) {
 	defer e.termWG.Done()
 	defer func() {
 		if r := recover(); r != nil && r != errAborted {
@@ -410,20 +720,25 @@ func (e *Engine) nodeMain(nd *Node, program func(*Node)) {
 		nd.phase = phaseDone
 		e.notifyPark(nd)
 	}()
-	<-nd.wakeCh
-	if e.aborted.Load() {
-		panic(errAborted)
-	}
-	program(nd)
+	e.program(nd)
 }
 
 func (e *Engine) buildRevPorts() {
 	n := e.g.N()
-	e.portOff = make([]int32, n+1)
+	if cap(e.portOff) < n+1 {
+		e.portOff = make([]int32, n+1)
+	} else {
+		e.portOff = e.portOff[:n+1]
+	}
 	for u := 0; u < n; u++ {
 		e.portOff[u+1] = e.portOff[u] + int32(len(e.g.Adj(graph.NodeID(u))))
 	}
-	e.revPort = make([]int32, e.portOff[n])
+	ports := int(e.portOff[n])
+	if cap(e.revPort) < ports {
+		e.revPort = make([]int32, ports)
+	} else {
+		e.revPort = e.revPort[:ports]
+	}
 	for u := 0; u < n; u++ {
 		off := e.portOff[u]
 		for p, h := range e.g.Adj(graph.NodeID(u)) {
@@ -440,7 +755,8 @@ func (e *Engine) addSender(nd *Node) {
 
 // notifyPark ends a node activation. Called from node goroutines. In
 // lane mode the parking node first chains its lane to the next
-// scheduled node, so the round's wake list drains through Workers
+// scheduled node — spawning its goroutine if this is the node's first
+// activation — so the round's wake list drains through Workers
 // concurrent chains with one channel operation per activation instead
 // of a wake/park handshake against pool goroutines.
 func (e *Engine) notifyPark(nd *Node) {
@@ -454,9 +770,7 @@ func (e *Engine) notifyPark(nd *Node) {
 	}
 	if e.workers > 0 {
 		if i := int(e.wakeIdx.Add(1)) - 1; i < len(e.curWake) {
-			next := e.curWake[i]
-			next.phase = phaseRunning
-			next.wakeCh <- struct{}{}
+			e.activate(e.curWake[i])
 		}
 	}
 	if e.running.Add(-1) == 0 {
@@ -464,10 +778,24 @@ func (e *Engine) notifyPark(nd *Node) {
 	}
 }
 
+// activate runs one activation of nd: the first ever spawns the node's
+// goroutine (the lazy start), later ones send a wake permit to its
+// parked goroutine.
+func (e *Engine) activate(nd *Node) {
+	if nd.phase == phaseIdle {
+		nd.phase = phaseRunning
+		e.termWG.Add(1)
+		go e.runNode(nd)
+		return
+	}
+	nd.phase = phaseRunning
+	nd.wakeCh <- struct{}{}
+}
+
 // dispatch runs one activation of every node in wake and returns when
-// all of them have parked or exited. Direct mode wakes every scheduled
-// node; lane mode releases one batch of Workers wake permits and lets
-// parking nodes chain the rest (see notifyPark).
+// all of them have parked or exited. Direct mode activates every
+// scheduled node; lane mode releases one batch of Workers wake permits
+// and lets parking nodes chain the rest (see notifyPark).
 func (e *Engine) dispatch(wake []*Node) {
 	if len(wake) == 0 {
 		return
@@ -481,20 +809,20 @@ func (e *Engine) dispatch(wake []*Node) {
 		e.curWake = wake
 		e.wakeIdx.Store(int32(w))
 		for _, nd := range wake[:w] {
-			nd.phase = phaseRunning
-			nd.wakeCh <- struct{}{}
+			e.activate(nd)
 		}
 	} else {
 		for _, nd := range wake {
-			nd.phase = phaseRunning
-			nd.wakeCh <- struct{}{}
+			e.activate(nd)
 		}
 	}
 	<-e.roundDone
 }
 
 // coordinate is the engine main loop; it runs on the caller goroutine.
-func (e *Engine) coordinate() (*Stats, error) {
+// It returns nil on clean completion and the abort cause otherwise;
+// stats are assembled by the caller once every node goroutine exited.
+func (e *Engine) coordinate() error {
 	n := len(e.nodes)
 	done := 0
 	var firstPanic error
@@ -528,7 +856,7 @@ func (e *Engine) coordinate() (*Stats, error) {
 		}
 		e.mergeSenders()
 		if done == n && e.senderCount == 0 {
-			return e.stats(), nil
+			return nil
 		}
 		// Decide the next round: the immediate next one if traffic is in
 		// flight, otherwise fast-forward to the earliest sleep deadline.
@@ -562,10 +890,17 @@ func (e *Engine) coordinate() (*Stats, error) {
 // the package docs), but ID order makes the delivery phase stream
 // sequentially through the node and queue slabs instead of hopping in
 // goroutine-registration order, which is worth a large constant factor
-// in cache hits on big graphs.
+// in cache hits on big graphs. First-time registrations also join the
+// run's dirty-node list, which is what the warm-reuse reset walks.
 func (e *Engine) mergeSenders() {
 	k := int(e.newCount.Swap(0))
 	if k > 0 {
+		for _, nd := range e.newSenders[:k] {
+			if !nd.everDirty {
+				nd.everDirty = true
+				e.dirtyNodes = append(e.dirtyNodes, nd)
+			}
+		}
 		if len(e.shards) == 1 {
 			e.shards[0].addSenders(e.newSenders[:k])
 		} else {
@@ -655,6 +990,12 @@ func (e *Engine) deliver() {
 			<-e.shardDone
 		}
 		e.curGen++
+		if e.curGen == 0 { // generation wrapped: restart the epoch space
+			for i := range e.recvGen {
+				e.recvGen[i] = 0
+			}
+			e.curGen = 1
+		}
 		e.receivers = e.receivers[:0]
 		for _, sh := range e.shards {
 			e.delivered += sh.delivered
@@ -696,9 +1037,11 @@ func (e *Engine) orderReceivers(gen []uint32, cur uint32) {
 }
 
 // loop is one shard worker: it executes delivery and matching tasks for
-// its shard until the engine shuts it down.
-func (sh *deliveryShard) loop() {
-	for task := range sh.taskCh {
+// its shard until the engine's run ends. The channel is passed by value
+// so the goroutine never touches the taskCh field, which the
+// coordinator rewrites between runs.
+func (sh *deliveryShard) loop(tasks <-chan shardTask) {
+	for task := range tasks {
 		switch task {
 		case taskDeliver:
 			sh.deliver()
@@ -725,6 +1068,12 @@ func (sh *deliveryShard) deliver() {
 	inSlab := e.qSlab[len(e.revPort):]
 	portOff, revPort := e.portOff, e.revPort
 	sh.curGen++
+	if sh.curGen == 0 { // generation wrapped: restart the epoch space
+		for i := range sh.recvGen {
+			sh.recvGen[i] = 0
+		}
+		sh.curGen = 1
+	}
 	sh.receivers = sh.receivers[:0]
 	kept := sh.senders[:0]
 	for _, nd := range sh.senders {
@@ -868,18 +1217,18 @@ func (e *Engine) matches(nd *Node) bool {
 }
 
 // abort wakes every parked node so its goroutine unwinds via the
-// errAborted panic, waits for all of them to exit, and returns stats
-// with the causing error. It must only be called from coordinate, i.e.
-// while every node is parked.
-func (e *Engine) abort(cause error) (*Stats, error) {
+// errAborted panic and returns the causing error; never-activated
+// nodes have no goroutine to unwind. It must only be called from
+// coordinate, i.e. while every started node is parked; the caller
+// waits for the unwind via termWG.
+func (e *Engine) abort(cause error) error {
 	e.aborted.Store(true)
 	for _, nd := range e.nodes {
 		if nd.phase == phaseRecv || nd.phase == phaseSleep {
 			nd.wakeCh <- struct{}{}
 		}
 	}
-	e.termWG.Wait()
-	return e.stats(), cause
+	return cause
 }
 
 func (e *Engine) deadlockError(done int) error {
@@ -900,22 +1249,6 @@ func (e *Engine) mark(label string, id graph.NodeID) {
 	e.marksMu.Lock()
 	defer e.marksMu.Unlock()
 	e.marks = append(e.marks, Mark{Label: label, Round: e.round, Node: id})
-}
-
-func (e *Engine) stats() *Stats {
-	var sent, leftover int64
-	for _, nd := range e.nodes {
-		sent += nd.sent
-		leftover += nd.leftover()
-	}
-	return &Stats{
-		Rounds:    e.round,
-		Sent:      sent,
-		Delivered: e.delivered,
-		Wakeups:   e.wakeups,
-		Leftover:  leftover,
-		Marks:     e.marks,
-	}
 }
 
 // sleepEntry and sleepHeap implement the sleeper priority queue.

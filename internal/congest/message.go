@@ -20,13 +20,39 @@
 // The scheduler's round loop reuses per-engine scratch buffers (an
 // epoch-stamped receiver array, a wake list, per-shard sender
 // registries) and slab-allocates every queue and its initial ring, so
-// steady-state simulation does not allocate and engine setup is a
-// handful of bulk allocations recycled across runs. Each node program
-// runs on its own goroutine (it holds the program's stack between
-// rounds); with Options.Workers > 0, each round releases that many wake
-// permits and parking nodes chain them forward, so only Workers
-// programs are runnable at once, which keeps very large graphs from
-// thrashing the Go scheduler.
+// steady-state simulation does not allocate. Each node program runs on
+// its own goroutine (it holds the program's stack between rounds);
+// with Options.Workers > 0, each round releases that many wake permits
+// and parking nodes chain them forward, so only Workers programs are
+// runnable at once, which keeps very large graphs from thrashing the
+// Go scheduler.
+//
+// # Engine reuse and lazy activation
+//
+// An Engine is a long-lived, reusable object: NewEngine(opts) creates
+// one and (*Engine).Run(g, program) executes a simulation on it. The
+// engine retains its slabs (node structs, queue headers, message
+// rings, wake channels) and flat port tables between runs: a warm run
+// on the same graph resets only the dirty region — the queues the
+// previous run's senders touched, located through the sender registry
+// and the reverse port table — instead of re-zeroing everything, and a
+// run on a different graph rebuilds the port tables while reusing
+// every slab whose capacity fits. Stats.SetupNanos reports what setup
+// remains. Close releases the slabs to process-wide pools; the
+// package-level Run is the one-shot NewEngine + Run + Close.
+//
+// Node goroutines start lazily: a node's goroutine is spawned at its
+// first activation, and its wake channel is created at its first
+// park. Every node is activated once (round 0), so the win is
+// concurrency-shaped: in lane mode (Options.Workers > 0) activations
+// are chained, so a program that exits without parking frees its
+// goroutine before the next spawns and the runtime recycles the
+// stack — a million-node sparse workload keeps ~Workers stacks live
+// instead of faulting in one per node — while wake channels are lazy
+// in every mode (only nodes that actually park ever allocate one).
+// Reuse never leaks state: per-node RNGs reseed lazily per run, and a
+// reused engine's Stats are bit-identical to a fresh engine's for the
+// same graph, options, and seed.
 //
 // # Sharded delivery
 //

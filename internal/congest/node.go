@@ -10,7 +10,11 @@ import (
 type nodePhase int
 
 const (
-	phaseRunning nodePhase = iota + 1
+	// phaseIdle (the zero value) marks a node whose goroutine has not
+	// been spawned yet: activation starts the program lazily, so nodes
+	// never scheduled — and, before round 0, all nodes — hold no stack.
+	phaseIdle nodePhase = iota
+	phaseRunning
 	phaseRecv
 	phaseSleep
 	phaseDone
@@ -22,7 +26,12 @@ type Node struct {
 	id  graph.NodeID
 	eng *Engine
 	adj []graph.Half
-	rng *rand.Rand // created lazily on first Rand call
+	rng *rand.Rand // created lazily on first Rand call; reseeded per run
+
+	// rngGen is the engine run the RNG was last seeded for; comparing
+	// it to the engine's run counter reseeds lazily, so reused engines
+	// stay bit-identical to fresh ones without an O(n) reseed pass.
+	rngGen uint32
 
 	outQ []queue // staged sends, one FIFO per port; head transmitted each round
 	inQ  []queue // received but not yet consumed, one FIFO per port
@@ -44,6 +53,7 @@ type Node struct {
 
 	nonEmptyOut int   // number of ports with staged messages (node-local view)
 	outDirty    bool  // registered in the engine's sender set
+	everDirty   bool  // sent at least once this run (on the engine's dirty-node list)
 	sent        int64 // messages staged by this node (summed into Stats.Sent)
 }
 
@@ -77,11 +87,18 @@ func (nd *Node) PortTo(v graph.NodeID) int {
 }
 
 // Rand returns this node's private deterministic RNG. It is seeded from
-// Options.Seed and the node ID on first use, so programs that never
-// draw randomness pay nothing for it.
+// Options.Seed and the node ID on first use in each run, so programs
+// that never draw randomness pay nothing for it and reused engines draw
+// the same stream as fresh ones.
 func (nd *Node) Rand() *rand.Rand {
-	if nd.rng == nil {
-		nd.rng = rand.New(rand.NewSource(nd.eng.opts.Seed*1_000_003 + int64(nd.id)))
+	if e := nd.eng; nd.rng == nil || nd.rngGen != e.runGen {
+		seed := e.opts.Seed*1_000_003 + int64(nd.id)
+		if nd.rng == nil {
+			nd.rng = rand.New(rand.NewSource(seed))
+		} else {
+			nd.rng.Seed(seed)
+		}
+		nd.rngGen = e.runGen
 	}
 	return nd.rng
 }
@@ -208,8 +225,22 @@ func (nd *Node) Mark(label string) {
 	nd.eng.mark(label, nd.id)
 }
 
-// park hands control back to the scheduler and blocks until woken.
+// park hands control back to the scheduler and blocks until woken. The
+// node's wake channel is created here, on its first park ever, so
+// programs that run to completion without parking never allocate one;
+// the channel is cached in the engine's wake slab and reused by every
+// later run.
 func (nd *Node) park(ph nodePhase) {
+	if nd.wakeCh == nil {
+		e := nd.eng
+		if ch := e.wakeChs[nd.id]; ch != nil {
+			nd.wakeCh = ch
+		} else {
+			ch = make(chan struct{}, 1)
+			e.wakeChs[nd.id] = ch
+			nd.wakeCh = ch
+		}
+	}
 	nd.parkGen++
 	nd.phase = ph
 	nd.eng.notifyPark(nd)
@@ -217,16 +248,6 @@ func (nd *Node) park(ph nodePhase) {
 	if nd.eng.aborted.Load() {
 		panic(errAborted)
 	}
-}
-
-// leftover returns the number of unconsumed received messages; used for
-// end-of-run accounting.
-func (nd *Node) leftover() int64 {
-	var s int64
-	for p := range nd.inQ {
-		s += int64(nd.inQ[p].len())
-	}
-	return s
 }
 
 // errAborted is the sentinel panic value used to unwind node goroutines

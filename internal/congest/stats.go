@@ -50,6 +50,13 @@ type Stats struct {
 	Leftover int64
 	// Marks are the phase timestamps recorded via Node.Mark.
 	Marks []Mark
+	// SetupNanos is the wall time this run spent in per-run engine
+	// setup (slab acquisition, queue carving, node initialization —
+	// everything before the first node activation). It is a wall-clock
+	// measurement, not part of the deterministic accounting above: a
+	// warm reused engine reports near-zero here, a cold one the full
+	// allocation cost. Benchmarks surface it as the setup-ns metric.
+	SetupNanos int64
 }
 
 // MessageBits returns the total bits transmitted, charging each message

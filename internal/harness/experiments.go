@@ -257,7 +257,7 @@ func E5Baselines(cfg Config) *Table {
 func runSu(g *graph.Graph, eps float64, seed int64, cfg Config) (int64, int) {
 	var mu sync.Mutex
 	var value int64
-	stats, err := congest.Run(g, cfg.engineOpts(seed), func(nd *congest.Node) {
+	stats, err := runSim(g, cfg.engineOpts(seed), func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		r := baseline.Su(nd, bfs, g, eps, seed+5, 8, 1000)
 		mu.Lock()

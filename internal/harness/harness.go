@@ -60,14 +60,21 @@ type Config struct {
 	Workers int
 	// DeliveryShards partitions the runtime's delivery phase over this
 	// many worker goroutines (congest.Options.DeliveryShards). Zero
-	// delivers serially; results are identical either way.
+	// resolves to serial delivery here — RunAll already executes
+	// experiments concurrently on a GOMAXPROCS-bounded pool, so
+	// per-run sharding on top would oversubscribe the machine.
+	// Results are identical either way.
 	DeliveryShards int
 }
 
 // engineOpts assembles the congest options for one run with the given
 // seed.
 func (c Config) engineOpts(seed int64) congest.Options {
-	return congest.Options{Seed: seed, Workers: c.Workers, DeliveryShards: c.DeliveryShards}
+	shards := c.DeliveryShards
+	if shards == 0 {
+		shards = -1 // serial per run: RunAll is the parallelism
+	}
+	return congest.Options{Seed: seed, Workers: c.Workers, DeliveryShards: shards}
 }
 
 func (c Config) seed() int64 {
@@ -75,6 +82,28 @@ func (c Config) seed() int64 {
 		return 1
 	}
 	return c.Seed
+}
+
+// enginePool recycles reusable CONGEST engines across the hundreds of
+// sequential runs one experiment performs (and across experiments,
+// which run concurrently on the RunAll pool): an engine checked back in
+// keeps its slabs warm, so the next run of similar scale skips setup.
+// Engines dropped by the GC release nothing the process needs — their
+// slabs simply stop circulating.
+var enginePool sync.Pool
+
+// runSim is congest.Run on a pooled, reusable engine.
+func runSim(g *graph.Graph, opts congest.Options, program func(*congest.Node)) (*congest.Stats, error) {
+	var eng *congest.Engine
+	if v := enginePool.Get(); v != nil {
+		eng = v.(*congest.Engine)
+		eng.SetOptions(opts)
+	} else {
+		eng = congest.NewEngine(opts)
+	}
+	stats, err := eng.Run(g, program)
+	enginePool.Put(eng)
+	return stats, err
 }
 
 // RunAll executes every experiment and returns the tables in their
@@ -126,7 +155,7 @@ func pipelineOnce(g *graph.Graph, seed int64, cfg Config) (*congest.Stats, int64
 	var mu sync.Mutex
 	parents := make([]graph.NodeID, g.N())
 	var best int64
-	stats, err := congest.Run(g, cfg.engineOpts(seed), func(nd *congest.Node) {
+	stats, err := runSim(g, cfg.engineOpts(seed), func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		res := mst.Run(nd, bfs, nil, 0, 100)
 		out := respect.Run(nd, respect.FromMST(res, bfs), 100+mst.TagSpan)
@@ -149,7 +178,7 @@ func pipelineOnce(g *graph.Graph, seed int64, cfg Config) (*congest.Stats, int64
 // node's C(v↓) to fn (called under a lock).
 func runPipelineCollect(g *graph.Graph, seed int64, cfg Config, fn func(v graph.NodeID, cut int64)) error {
 	var mu sync.Mutex
-	_, err := congest.Run(g, cfg.engineOpts(seed), func(nd *congest.Node) {
+	_, err := runSim(g, cfg.engineOpts(seed), func(nd *congest.Node) {
 		bfs := proto.BuildBFS(nd, 0, 1)
 		res := mst.Run(nd, bfs, nil, 0, 100)
 		out := respect.Run(nd, respect.FromMST(res, bfs), 100+mst.TagSpan)

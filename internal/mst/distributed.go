@@ -114,6 +114,13 @@ type runner struct {
 	weight func(p int) int64
 	cap    int
 	tag    uint32
+
+	// Per-iteration receive scratch, reused so the Borůvka loops do
+	// not allocate per iteration (the packing loop runs this code once
+	// per tree on every node; at the million scale these were a top
+	// allocation source).
+	peerFrag []int64
+	peerPhys []int64
 }
 
 func (r *runner) load(port int) int64 {
@@ -184,12 +191,32 @@ func b2i(b bool) int64 {
 // nodes (or spans the graph). Merge structures are depth-one stars:
 // unsaturated tail fragments propose along their minimum outgoing
 // edge; saturated fragments and unsaturated heads accept.
+//
+// Each iteration costs exactly two fragment-tree waves: one batched
+// convergecast (size and minimum outgoing edge ride the same wave via
+// ConvergeItemVec) and one broadcast (control bits and the winning edge
+// packed into a single item). The earlier four sequential waves per
+// iteration — size up, control down, MOE up, decision down — were the
+// dominant per-iteration round cost at large fragment heights; batching
+// halves it without changing any decision (the root sees size and MOE
+// together and computes exactly what the split waves computed).
 func (r *runner) part1() *p1state {
 	nd := r.nd
 	st := &p1state{fragID: int64(nd.ID()), parentPort: -1}
 	maxIter := 60 + 14*bitlen(nd.N())
 	if maxIter*16 >= 4096 {
 		maxIter = 4096/16 - 1 // keep part-1 tags below the part-2 range
+	}
+	// One fragment-exchange matcher for every iteration: the tag
+	// advances through the captured variable (stable while the node is
+	// parked), so the receive loop does not allocate a closure per
+	// message.
+	var exTag uint32
+	matchEx := func(_ int, m congest.Message) bool {
+		return m.Kind == kindFragEx && m.Tag == exTag
+	}
+	if r.peerFrag == nil {
+		r.peerFrag = make([]int64, nd.Degree())
 	}
 	for iter := 0; ; iter++ {
 		if iter > maxIter {
@@ -198,28 +225,17 @@ func (r *runner) part1() *p1state {
 		tag := r.tag + uint32(iter)*16
 		ov := st.overlay()
 
-		// Fragment size, saturation, and the root's coin, shared
-		// fragment-wide in one converge + one broadcast.
-		size, _ := proto.Converge(nd, ov, tag+0, 1, proto.Sum)
-		var ctl int64
-		if ov.Root {
-			ctl = b2i(size >= int64(r.cap)) | b2i(nd.Rand().Intn(2) == 1)<<1
-		}
-		ctl = proto.Broadcast(nd, ov, tag+1, ctl)
-		saturated := ctl&1 != 0
-		coinTail := ctl&2 != 0
-
-		// Exchange fragment IDs with all neighbors.
-		nd.SendAll(congest.Message{Kind: kindFragEx, Tag: tag + 4, A: st.fragID})
-		peerFrag := make([]int64, nd.Degree())
+		// Exchange fragment IDs with all neighbors (tag+0).
+		exTag = tag
+		nd.SendAll(congest.Message{Kind: kindFragEx, Tag: tag, A: st.fragID})
+		peerFrag := r.peerFrag
 		for i := 0; i < nd.Degree(); i++ {
-			p, m := nd.Recv(congest.MatchKindTag(kindFragEx, tag+4))
+			p, m := nd.Recv(matchEx)
 			peerFrag[p] = m.A
 		}
 
-		// Local minimum outgoing edge, then fragment-wide MOE (skipped
-		// by saturated fragments, which never propose). Absent edges
-		// (weight <= 0 under a sampled view) are never candidates.
+		// Local minimum outgoing edge. Absent edges (weight <= 0 under
+		// a sampled view) are never candidates.
 		cand, candPort := noneItem, -1
 		for p := 0; p < nd.Degree(); p++ {
 			if peerFrag[p] == st.fragID || r.w(p) <= 0 {
@@ -235,58 +251,73 @@ func (r *runner) part1() *p1state {
 				cand, candPort = it, p
 			}
 		}
-		var moe proto.Item = noneItem
-		if !saturated {
-			moe, _ = proto.ConvergeItem(nd, ov, tag+5, cand, betterCand)
-		}
 
-		// Global termination: a fragment blocks completion only if it
-		// is unsaturated AND still has an outgoing edge. Isolated small
-		// fragments (possible under sampled views) stop growing.
+		// One batched wave up the fragment tree (tags tag+1, tag+2):
+		// slot 0 sums the fragment size, slot 1 carries the fragment's
+		// minimum outgoing edge.
+		up, _ := proto.ConvergeItemVec(nd, ov, tag+1,
+			[]proto.Item{{A: 1}, cand},
+			func(slot int, a, b proto.Item) proto.Item {
+				if slot == 0 {
+					return proto.Item{A: a.A + b.A}
+				}
+				return betterCand(a, b)
+			})
+
+		// The root now holds size and MOE together: saturation, the
+		// merge coin, and the proposal decision come out of one place.
+		// Global termination (tags tag+3, tag+4, over the BFS tree): a
+		// fragment blocks completion only if it is unsaturated AND
+		// still has an outgoing edge. Isolated small fragments
+		// (possible under sampled views) stop growing.
+		var ctl, rootMoeUV int64
 		unsat := int64(0)
-		if ov.Root && !saturated && !isNone(moe) {
-			unsat = 1
+		if ov.Root {
+			size, moe := up[0].A, up[1]
+			saturated := size >= int64(r.cap)
+			coinTail := nd.Rand().Intn(2) == 1
+			ctl = b2i(saturated) | b2i(coinTail)<<1 | b2i(coinTail && !saturated && !isNone(moe))<<2
+			rootMoeUV = moe.C
+			if !saturated && !isNone(moe) {
+				unsat = 1
+			}
 		}
-		if proto.ConvergeBroadcast(nd, r.bfs, tag+2, unsat, proto.Sum) == 0 {
+		if proto.ConvergeBroadcast(nd, r.bfs, tag+3, unsat, proto.Sum) == 0 {
 			return st
 		}
 
-		proposing := false
-		var moeUV int64
-		if !saturated {
-			var dec proto.Item
-			if ov.Root {
-				dec = proto.Item{A: b2i(coinTail && !isNone(moe)), B: moe.C}
-			}
-			dec = proto.BroadcastItem(nd, ov, tag+6, dec)
-			proposing = dec.A == 1
-			moeUV = dec.B
-		}
+		// One wave down the fragment tree (tag+5): control bits and the
+		// winning MOE endpoints share a single item.
+		dec := proto.BroadcastItem(nd, ov, tag+5, proto.Item{A: ctl, B: rootMoeUV})
+		saturated := dec.A&1 != 0
+		coinTail := dec.A&2 != 0
+		proposing := dec.A&4 != 0
+		moeUV := dec.B
 
 		// One PROPOSE/NOPROPOSE per port, then one reply per PROPOSE.
 		myProposePort := -1
 		for p := 0; p < nd.Degree(); p++ {
 			if proposing && p == candPort && cand.C == moeUV {
 				myProposePort = p
-				nd.Send(p, congest.Message{Kind: kindPropose, Tag: tag + 7, A: st.fragID})
+				nd.Send(p, congest.Message{Kind: kindPropose, Tag: tag + 6, A: st.fragID})
 			} else {
-				nd.Send(p, congest.Message{Kind: kindNoPropose, Tag: tag + 7})
+				nd.Send(p, congest.Message{Kind: kindNoPropose, Tag: tag + 6})
 			}
 		}
 		accept := saturated || !coinTail
 		var acceptedPorts []int
 		for i := 0; i < nd.Degree(); i++ {
 			p, m := nd.Recv(func(_ int, m congest.Message) bool {
-				return m.Tag == tag+7 && (m.Kind == kindPropose || m.Kind == kindNoPropose)
+				return m.Tag == tag+6 && (m.Kind == kindPropose || m.Kind == kindNoPropose)
 			})
 			if m.Kind != kindPropose {
 				continue
 			}
 			if accept {
-				nd.Send(p, congest.Message{Kind: kindAccept, Tag: tag + 8, A: st.fragID})
+				nd.Send(p, congest.Message{Kind: kindAccept, Tag: tag + 7, A: st.fragID})
 				acceptedPorts = append(acceptedPorts, p)
 			} else {
-				nd.Send(p, congest.Message{Kind: kindReject, Tag: tag + 8})
+				nd.Send(p, congest.Message{Kind: kindReject, Tag: tag + 7})
 			}
 		}
 
@@ -297,14 +328,14 @@ func (r *runner) part1() *p1state {
 			merged, newFrag := false, int64(0)
 			if myProposePort >= 0 {
 				_, m := nd.Recv(func(p int, m congest.Message) bool {
-					return p == myProposePort && m.Tag == tag+8 &&
+					return p == myProposePort && m.Tag == tag+7 &&
 						(m.Kind == kindAccept || m.Kind == kindReject)
 				})
 				if m.Kind == kindAccept {
 					merged, newFrag = true, m.A
 				}
 			}
-			r.outcomeWave(st, myProposePort, merged, newFrag, tag+9)
+			r.outcomeWave(st, myProposePort, merged, newFrag, tag+8)
 		}
 		if len(acceptedPorts) > 0 {
 			st.childPorts = append(st.childPorts, acceptedPorts...)
@@ -332,12 +363,15 @@ func (r *runner) outcomeWave(st *p1state, proposePort int, merged bool, newFrag 
 		}
 		return
 	}
-	inFrag := make(map[int]bool, len(oldPorts))
-	for _, p := range oldPorts {
-		inFrag[p] = true
-	}
 	from, m := nd.Recv(func(p int, m congest.Message) bool {
-		return m.Kind == kindWave && m.Tag == tag && inFrag[p]
+		if m.Kind != kindWave || m.Tag != tag {
+			return false
+		}
+		// oldPorts is sorted (st.ports); binary search keeps predicate
+		// evaluation O(log k) even at high-degree fragment heads, where
+		// many wave messages can be buffered at once.
+		i := sort.SearchInts(oldPorts, p)
+		return i < len(oldPorts) && oldPorts[i] == p
 	})
 	for _, p := range oldPorts {
 		if p != from {
@@ -368,6 +402,16 @@ func (r *runner) part2(st *p1state) []InterEdge {
 	var inter []InterEdge
 	maxIter := 4 + 2*bitlen(nd.N())
 	base := r.tag + 4096 // disjoint from part 1 tags (checked in part1)
+	var exTag uint32
+	matchEx := func(_ int, m congest.Message) bool {
+		return m.Kind == kindFragEx && m.Tag == exTag
+	}
+	if r.peerFrag == nil {
+		r.peerFrag = make([]int64, nd.Degree())
+	}
+	if r.peerPhys == nil {
+		r.peerPhys = make([]int64, nd.Degree())
+	}
 	for iter := 0; ; iter++ {
 		if iter > maxIter {
 			panic(fmt.Sprintf("mst: part 2 did not converge after %d iterations", iter))
@@ -375,11 +419,11 @@ func (r *runner) part2(st *p1state) []InterEdge {
 		tag := base + uint32(iter)*8
 
 		// Exchange (logical, phys) with all neighbors.
+		exTag = tag
 		nd.SendAll(congest.Message{Kind: kindFragEx, Tag: tag, A: logical, B: physID})
-		peerLogical := make([]int64, nd.Degree())
-		peerPhys := make([]int64, nd.Degree())
+		peerLogical, peerPhys := r.peerFrag, r.peerPhys
 		for i := 0; i < nd.Degree(); i++ {
-			p, m := nd.Recv(congest.MatchKindTag(kindFragEx, tag))
+			p, m := nd.Recv(matchEx)
 			peerLogical[p], peerPhys[p] = m.A, m.B
 		}
 

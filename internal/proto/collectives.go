@@ -139,10 +139,13 @@ func Flood(nd *congest.Node, ov *Overlay, tag uint32, items []Item) []Item {
 		return items
 	}
 	var got []Item
+	// One closure for the whole stream: allocating it per item made
+	// Flood the pipeline's top allocator at the million scale.
+	match := func(p int, m congest.Message) bool {
+		return (m.Kind == kindItem || m.Kind == kindEnd) && m.Tag == tag && p == ov.ParentPort
+	}
 	for {
-		_, m := nd.Recv(func(p int, m congest.Message) bool {
-			return (m.Kind == kindItem || m.Kind == kindEnd) && m.Tag == tag && p == ov.ParentPort
-		})
+		_, m := nd.Recv(match)
 		if m.Kind == kindEnd {
 			break
 		}
@@ -188,12 +191,19 @@ func KeyedSum(nd *congest.Node, ov *Overlay, tag uint32, keys []int64, mine map[
 		sums[j] = mine[k]
 	}
 	// Children's slots arrive in order on each port (FIFO); consume
-	// slot j from every child, then emit slot j upward.
+	// slot j from every child, then emit slot j upward. The predicate
+	// reads the current (slot, port) through captured variables so one
+	// closure serves every receive.
+	var slot int64
+	var port int
+	match := func(p int, m congest.Message) bool {
+		return m.Kind == kindSlot && m.Tag == tag && p == port && m.A == slot
+	}
 	for j := range keys {
+		slot = int64(j)
 		for _, c := range ov.ChildPorts {
-			_, m := nd.Recv(func(p int, m congest.Message) bool {
-				return m.Kind == kindSlot && m.Tag == tag && p == c && m.A == int64(j)
-			})
+			port = c
+			_, m := nd.Recv(match)
 			sums[j] += m.B
 		}
 		if !ov.Root {

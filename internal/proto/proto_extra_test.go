@@ -19,6 +19,59 @@ func TestKeyedSumEmptyKeys(t *testing.T) {
 	})
 }
 
+// TestConvergeItemVecMatchesSequential: the batched vector convergecast
+// must compute exactly what sequential Converge/ConvergeItem waves do —
+// here a sum, a min, and a max ride one wave.
+func TestConvergeItemVecMatchesSequential(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"path": graph.Path(17), "grid": graph.Grid(5, 5), "star": graph.Star(9),
+	} {
+		var mu sync.Mutex
+		var gotVec, want []Item
+		stats := runAll(t, g, func(nd *congest.Node) {
+			ov := BuildBFS(nd, 0, 1)
+			id := int64(nd.ID())
+			mine := []Item{{A: 1}, {A: id}, {A: id}}
+			vec, root := ConvergeItemVec(nd, ov, 40, mine, func(slot int, a, b Item) Item {
+				switch slot {
+				case 0:
+					return Item{A: a.A + b.A}
+				case 1:
+					if b.A < a.A {
+						return b
+					}
+					return a
+				default:
+					if b.A > a.A {
+						return b
+					}
+					return a
+				}
+			})
+			s, _ := Converge(nd, ov, 50, 1, Sum)
+			lo, _ := Converge(nd, ov, 51, id, Min)
+			hi, _ := Converge(nd, ov, 52, id, Max)
+			if root {
+				mu.Lock()
+				gotVec = vec
+				want = []Item{{A: s}, {A: lo}, {A: hi}}
+				mu.Unlock()
+			}
+		})
+		if len(gotVec) != 3 {
+			t.Fatalf("%s: root published %d slots, want 3", name, len(gotVec))
+		}
+		for j := range gotVec {
+			if gotVec[j] != want[j] {
+				t.Fatalf("%s: slot %d = %+v, want %+v", name, j, gotVec[j], want[j])
+			}
+		}
+		if stats.Leftover != 0 {
+			t.Fatalf("%s: %d leftover messages", name, stats.Leftover)
+		}
+	}
+}
+
 func TestGatherNoItems(t *testing.T) {
 	g := graph.Grid(4, 4)
 	runAll(t, g, func(nd *congest.Node) {

@@ -52,6 +52,12 @@ type Options struct {
 	Limits Limits
 	// EngineWorkers and DeliveryShards are passed to every run
 	// (distmincut.Options); they never affect results, only speed.
+	// Zero DeliveryShards resolves to serial delivery here — the
+	// worker pool already runs PoolSize jobs in parallel, and letting
+	// every job also fan delivery out one-shard-per-CPU (the runtime's
+	// single-run default) would oversubscribe the machine PoolSize-
+	// fold. Set it explicitly to opt a mostly-idle pool into sharded
+	// delivery.
 	EngineWorkers  int
 	DeliveryShards int
 	// CheckPayload enables the runtime's payload-overflow guard on
@@ -74,6 +80,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.JobRetention <= 0 {
 		o.JobRetention = 4096
+	}
+	if o.DeliveryShards == 0 {
+		o.DeliveryShards = -1 // serial per job: the pool is the parallelism
 	}
 	o.Limits = o.Limits.withDefaults()
 	return o
@@ -113,6 +122,7 @@ type job struct {
 	cacheHit bool
 	err      string
 	result   []byte
+	setupNs  int64 // engine setup time of the completed run (0 for cache hits)
 	progress *congest.Progress
 	exec     *exec // nil once terminal (or for cache-hit records)
 	created  time.Time
@@ -141,8 +151,14 @@ type JobView struct {
 	CacheHit bool   `json:"cache_hit,omitempty"`
 	// Rounds and Delivered report live protocol progress while the job
 	// runs and final totals once it is done.
-	Rounds    int64           `json:"rounds"`
-	Delivered int64           `json:"delivered"`
+	Rounds    int64 `json:"rounds"`
+	Delivered int64 `json:"delivered"`
+	// SetupNs is the wall time the completed run spent in engine setup
+	// (congest.Stats.SetupNanos): a cold worker pays slab allocation
+	// here, a warm one near nothing, so the field makes per-worker
+	// engine reuse observable. Zero for cache hits and unfinished jobs.
+	// Incidental timing, deliberately kept out of the cacheable Result.
+	SetupNs   int64           `json:"setup_ns,omitempty"`
 	Error     string          `json:"error,omitempty"`
 	Result    json.RawMessage `json:"result,omitempty"`
 	CreatedAt time.Time       `json:"created_at"`
@@ -370,6 +386,7 @@ func (s *Service) viewLocked(j *job) JobView {
 		v.Rounds = int64(j.progress.Round())
 		v.Delivered = j.progress.Delivered()
 	}
+	v.SetupNs = j.setupNs
 	if j.state == StateDone {
 		v.Result = json.RawMessage(j.result)
 	}
@@ -441,17 +458,36 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 }
 
-// worker executes queued executions until the queue closes.
+// worker executes queued executions until the queue closes. Each
+// worker owns one warm, reusable CONGEST engine: the engine keeps its
+// slabs and port tables across jobs, so after the worker's first (cold)
+// run every same-scale job skips nearly all engine setup (observable as
+// JobView.SetupNs).
 func (s *Service) worker() {
 	defer s.wg.Done()
+	eng := congest.NewEngine(congest.Options{
+		Workers:        s.opts.EngineWorkers,
+		DeliveryShards: s.opts.DeliveryShards,
+		CheckPayload:   s.opts.CheckPayload,
+	})
+	defer eng.Close()
 	for e := range s.queue {
-		s.runExec(e)
+		s.runExec(eng, e)
+		// Warm while busy, released when idle: an engine between jobs
+		// pins the last job's graph (via its node adjacency slices)
+		// until the next full reinit, so when no work is queued the
+		// worker returns its slabs to the process-wide pools — the
+		// next job re-acquires them without page faults, and an idle
+		// pool holds no graph memory.
+		if len(s.queue) == 0 {
+			eng.Close()
+		}
 	}
 }
 
 // runExec runs one execution end to end and finalizes every job record
 // still attached to it.
-func (s *Service) runExec(e *exec) {
+func (s *Service) runExec(eng *congest.Engine, e *exec) {
 	s.mu.Lock()
 	if len(e.waiters) == 0 { // every submitter canceled while queued
 		s.mu.Unlock()
@@ -470,7 +506,7 @@ func (s *Service) runExec(e *exec) {
 	defer s.running.Add(-1)
 	defer cancel()
 
-	res, err := s.executeSafe(ctx, e)
+	res, setupNs, err := s.executeSafe(ctx, eng, e)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -487,6 +523,7 @@ func (s *Service) runExec(e *exec) {
 		for _, j := range e.waiters {
 			j.state = StateDone
 			j.result = res
+			j.setupNs = setupNs
 			j.finished = now
 			j.exec = nil
 			s.retireLocked(j)
@@ -518,34 +555,36 @@ func (s *Service) runExec(e *exec) {
 // (graph construction on a spec a validation gap let through, result
 // encoding) must fail the one job that triggered it, not take down the
 // whole process from a worker goroutine.
-func (s *Service) executeSafe(ctx context.Context, e *exec) (res []byte, err error) {
+func (s *Service) executeSafe(ctx context.Context, eng *congest.Engine, e *exec) (res []byte, setupNs int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("service: job panicked: %v", r)
+			res, setupNs, err = nil, 0, fmt.Errorf("service: job panicked: %v", r)
 		}
 	}()
-	return s.execute(ctx, e)
+	return s.execute(ctx, eng, e)
 }
 
-// execute builds the graph and runs the requested protocol, returning
-// canonical result bytes.
-func (s *Service) execute(ctx context.Context, e *exec) ([]byte, error) {
+// execute builds the graph and runs the requested protocol on the
+// worker's warm engine, returning canonical result bytes plus the
+// engine setup time of the run (for JobView.SetupNs).
+func (s *Service) execute(ctx context.Context, eng *congest.Engine, e *exec) ([]byte, int64, error) {
 	// Fast-fail before the (possibly large) graph build: after a
 	// deadline-forced shutdown the queue may still hold jobs, and the
 	// drain budget must not be spent constructing graphs that would
 	// only be canceled at the first round boundary.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	g, err := Build(e.req.Graph)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	opts := &distmincut.Options{
 		Seed:           e.req.Seed,
 		Epsilon:        e.req.Epsilon,
 		Workers:        s.opts.EngineWorkers,
 		DeliveryShards: s.opts.DeliveryShards,
+		Engine:         eng,
 		Progress:       e.progress,
 		CheckPayload:   s.opts.CheckPayload,
 	}
@@ -558,12 +597,16 @@ func (s *Service) execute(ctx context.Context, e *exec) ([]byte, error) {
 	case "respect":
 		res, _, err = distmincut.OneRespectingCutContext(ctx, g, opts)
 	default:
-		return nil, bad("unknown mode %q", e.req.Mode)
+		return nil, 0, bad("unknown mode %q", e.req.Mode)
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return encodeResult(e.key, e.req.Mode, g.N(), g.M(), res)
+	data, err := encodeResult(e.key, e.req.Mode, g.N(), g.M(), res)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, res.Stats.SetupNanos, nil
 }
 
 // encodeResult renders the canonical result bytes for the cache.

@@ -4,6 +4,16 @@
 // progress, cancellation, and graceful drain. cmd/mincutd exposes it
 // over HTTP/JSON and cmd/loadgen drives it under load.
 //
+// # Warm workers
+//
+// Every pool worker owns one reusable CONGEST engine
+// (congest.NewEngine) for its whole lifetime. The engine retains its
+// slabs and port tables across jobs, so only a worker's first job pays
+// engine allocation; every later job of similar scale starts with a
+// near-zero setup phase. The effect is observable per job as
+// JobView.SetupNs (the run's congest.Stats.SetupNanos) — deliberately
+// an incidental field, never part of the canonical cached Result.
+//
 // # Cache-key canonicalization
 //
 // A job is identified by the SHA-256 of its canonical request. The
