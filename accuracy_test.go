@@ -1,0 +1,103 @@
+package distmincut_test
+
+import (
+	"math"
+	"testing"
+
+	"distmincut"
+	"distmincut/internal/baseline"
+	"distmincut/internal/graph"
+	"distmincut/internal/verify"
+)
+
+// accuracyFamilies returns the four planted-cut generator families the
+// tier guarantees are asserted against: each instance has a minimum
+// cut known by construction, double-checked against Stoer–Wagner
+// before any tier runs. Seeds are fixed — the tiers' sampling is
+// deterministic in (seed, graph), so these are exact regression tests,
+// not flaky statistical ones.
+func accuracyFamilies(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	return map[string]*graph.Graph{
+		"planted":    graph.PlantedCut(24, 24, 3, 0.4, 11),
+		"cliquepath": graph.CliquePath(3, 6, 2),
+		"torus":      graph.Torus(6, 6),
+		"hypercube":  graph.Hypercube(4),
+	}
+}
+
+func exactLambda(t *testing.T, name string, g *graph.Graph) int64 {
+	t.Helper()
+	want, _, err := baseline.StoerWagner(g)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return want
+}
+
+// TestApproxTierWithinEpsilon asserts the (1+ε) serving tier's
+// contract on every family: the returned value is a real cut (so
+// ≥ λ) and at most (1+ε)·λ.
+func TestApproxTierWithinEpsilon(t *testing.T) {
+	for name, g := range accuracyFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			lambda := exactLambda(t, name, g)
+			for _, eps := range []float64{0.25, 0.5, 0.9} {
+				res, err := distmincut.ApproxMinCut(g, &distmincut.Options{Epsilon: eps, Seed: 7})
+				if err != nil {
+					t.Fatalf("eps=%g: %v", eps, err)
+				}
+				if res.Value < lambda {
+					t.Fatalf("eps=%g: approx value %d below λ=%d — not a real cut", eps, res.Value, lambda)
+				}
+				bound := int64(math.Ceil((1 + eps) * float64(lambda)))
+				if res.Value > bound {
+					t.Fatalf("eps=%g: approx value %d exceeds (1+ε)λ = %d (λ=%d)", eps, res.Value, bound, lambda)
+				}
+				// The marked side must be a real cut of the reported weight.
+				w, err := verify.CutSides(g, res.Side)
+				if err != nil {
+					t.Fatalf("eps=%g: side invalid: %v", eps, err)
+				}
+				if w != res.Value {
+					t.Fatalf("eps=%g: side weighs %d, reported %d", eps, w, res.Value)
+				}
+			}
+		})
+	}
+}
+
+// TestBracketTierContainsLambda asserts the bracket tier's contract on
+// every family: λ ∈ [Lo, Hi], the witness side is a real cut of the
+// reported weight, and the bracket is genuinely two-sided (Lo ≥ 1,
+// Hi ≤ the minimum weighted degree).
+func TestBracketTierContainsLambda(t *testing.T) {
+	for name, g := range accuracyFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			lambda := exactLambda(t, name, g)
+			for _, seed := range []int64{1, 7, 42} {
+				res, err := distmincut.BracketMinCut(g, &distmincut.Options{Seed: seed})
+				if err != nil {
+					t.Fatalf("seed=%d: %v", seed, err)
+				}
+				if res.Lo < 1 || res.Lo > res.Hi {
+					t.Fatalf("seed=%d: malformed bracket [%d, %d]", seed, res.Lo, res.Hi)
+				}
+				if lambda < res.Lo || lambda > res.Hi {
+					t.Fatalf("seed=%d: λ=%d outside bracket [%d, %d] (level %d)",
+						seed, lambda, res.Lo, res.Hi, res.Level)
+				}
+				if res.Value < lambda {
+					t.Fatalf("seed=%d: witness value %d below λ=%d", seed, res.Value, lambda)
+				}
+				w, err := verify.CutSides(g, res.Side)
+				if err != nil {
+					t.Fatalf("seed=%d: witness side invalid: %v", seed, err)
+				}
+				if w != res.Value {
+					t.Fatalf("seed=%d: witness side weighs %d, reported %d", seed, w, res.Value)
+				}
+			}
+		})
+	}
+}

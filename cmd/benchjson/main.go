@@ -3,13 +3,22 @@
 // to publish BENCH_engine.json as the perf trajectory artifact.
 //
 // It also implements the CI perf-regression gate: -compare checks a new
-// report against a committed baseline and exits non-zero when ns/op or
-// allocs/op worsened beyond the threshold on the gated benchmarks.
+// report against a committed baseline and exits non-zero when a gated
+// metric worsened beyond the threshold on the gated benchmarks. The
+// gated metric set is chosen per benchmark from what it reports: service
+// latency rows (p50-ns present) gate p50-ns and p95-ns, million-scale
+// engine rows (round-ns present) gate round-ns and allocs/op, everything
+// else gates ns/op and allocs/op.
+//
+// With -allow-missing, a -compare run whose baseline has no benchmarks
+// matching -match warns and exits 0 instead of 2 — used for gates over
+// metrics the base ref may predate (the open-loop service rows), so the
+// gate arms itself on the first PR after the metric lands.
 //
 // Usage:
 //
 //	go test ./internal/congest -bench BenchmarkEngine -benchmem | benchjson > BENCH_engine.json
-//	benchjson -compare BENCH_engine.json new.json [-threshold 0.20] [-match 'BenchmarkEngine(Expander|MillionExpander)']
+//	benchjson -compare BENCH_engine.json new.json [-threshold 0.20] [-match 'BenchmarkEngine(Expander|MillionExpander)'] [-allow-missing]
 package main
 
 import (
@@ -45,9 +54,10 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two report files (old new) instead of converting stdin")
 	threshold := flag.Float64("threshold", 0.20, "relative regression tolerated by -compare (0.20 = 20%)")
 	match := flag.String("match", "BenchmarkEngine(Expander|MillionExpander)", "regexp of benchmark names gated by -compare")
+	allowMissing := flag.Bool("allow-missing", false, "exit 0 when the baseline has no benchmarks matching -match (new-metric grace)")
 	flag.Parse()
 	if *compare {
-		os.Exit(runCompare(flag.Args(), *threshold, *match))
+		os.Exit(runCompare(flag.Args(), *threshold, *match, *allowMissing))
 	}
 	os.Exit(run(os.Stdin, os.Stdout))
 }
@@ -133,16 +143,22 @@ func dedupeBest(benchmarks []Benchmark) []Benchmark {
 }
 
 // gatedMetrics are the metrics -compare enforces: lower is better for
-// both, and allocs/op is noise-free so any budget works there. When a
-// benchmark reports the round-ns metric (the million workloads, which
-// split steady-state round time from engine setup), round-ns replaces
-// ns/op as the gated time metric: setup cost at that scale is
+// all of them, and allocs/op is noise-free so any budget works there.
+// When a benchmark reports the round-ns metric (the million workloads,
+// which split steady-state round time from engine setup), round-ns
+// replaces ns/op as the gated time metric: setup cost at that scale is
 // kernel-bound and co-tenant-noisy, while round time is the number the
-// engine work actually moves. A baseline that predates the metric
-// simply leaves the time axis ungated for that benchmark.
+// engine work actually moves. When a benchmark reports p50-ns (the
+// service loadgen rows), the latency percentiles are gated instead:
+// mean ns/op on an open-loop run is dominated by the run's tail, while
+// p50/p95 are the serving numbers the service PRs actually move. A
+// baseline that predates a metric simply leaves that axis ungated for
+// the benchmark (missing baseline metrics are skipped, never failed).
 var gatedMetrics = []string{"ns/op", "allocs/op"}
 
 var gatedMetricsRound = []string{"round-ns", "allocs/op"}
+
+var gatedMetricsLatency = []string{"p50-ns", "p95-ns"}
 
 func loadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
@@ -159,8 +175,10 @@ func loadReport(path string) (*Report, error) {
 // runCompare exits 0 when every gated benchmark present in both reports
 // stays within threshold on every gated metric, 1 on regression, 2 on
 // usage or I/O errors. Benchmarks present on only one side are reported
-// but never fail the gate (they are new or retired workloads).
-func runCompare(args []string, threshold float64, match string) int {
+// but never fail the gate (they are new or retired workloads); an empty
+// intersection is exit 2 unless allowMissing grants the new-metric
+// grace.
+func runCompare(args []string, threshold float64, match string, allowMissing bool) int {
 	if len(args) != 2 {
 		fmt.Fprintln(os.Stderr, "benchjson: -compare wants exactly two arguments: old.json new.json")
 		return 2
@@ -198,7 +216,10 @@ func runCompare(args []string, threshold float64, match string) int {
 		delete(oldBy, nb.Name)
 		compared++
 		metrics := gatedMetrics
-		if nb.Metrics["round-ns"] > 0 {
+		switch {
+		case nb.Metrics["p50-ns"] > 0:
+			metrics = gatedMetricsLatency
+		case nb.Metrics["round-ns"] > 0:
 			metrics = gatedMetricsRound
 		}
 		for _, metric := range metrics {
@@ -222,6 +243,10 @@ func runCompare(args []string, threshold float64, match string) int {
 		}
 	}
 	if compared == 0 {
+		if allowMissing {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline has no benchmarks matching %q, gate skipped (-allow-missing)\n", match)
+			return 0
+		}
 		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched %q in both reports\n", match)
 		return 2
 	}

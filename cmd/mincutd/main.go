@@ -3,6 +3,13 @@
 // content-addressed cache serves repeat submissions without
 // recomputing, and jobs are cancellable while the protocol runs.
 //
+// Answers are served at tiers (the "tier" request field): "bracket"
+// ([lo, hi] bounds in a handful of rounds), "approx" ((1+ε)), "exact"
+// (certified), "respect" (Theorem 2.1 alone), and "tiered" — the
+// approximation-first flow, whose jobs publish their (1+ε) answer in
+// state "refining" and then refine to the exact certified cut in the
+// same job. See docs/API.md for the full HTTP reference.
+//
 // Usage:
 //
 //	mincutd [-addr :8371] [-pool 4] [-queue 256] [-cache 4096]

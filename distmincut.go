@@ -18,9 +18,11 @@
 // packed tree, the minimum cut that 1-respects it in Õ(√n + D) rounds.
 //
 // Entry points: MinCut (exact, small λ), ApproxMinCut ((1+ε), any λ),
-// and OneRespectingCut (Theorem 2.1 on the MST alone). Each runs the
-// whole distributed protocol on the in-process CONGEST runtime and
-// reports round/message complexity alongside the cut.
+// BracketMinCut (an O(log n)-factor bracket on λ in a handful of
+// cheap rounds, the front tier ahead of the other two), and
+// OneRespectingCut (Theorem 2.1 on the MST alone). Each runs the whole
+// distributed protocol on the in-process CONGEST runtime and reports
+// round/message complexity alongside the cut.
 package distmincut
 
 import (
@@ -58,6 +60,10 @@ type Options struct {
 	TauPolicy func(lambda int64, n int) int
 	// ApproxTauMax caps trees packed per sampling level (default 32).
 	ApproxTauMax int
+	// BracketTrials is the number of independent skeletons BracketMinCut
+	// tests per sampling level (default 3); more trials sharpen the
+	// bracket's lower bound.
+	BracketTrials int
 	// SizeCap overrides the √n fragment size threshold (E9 ablation).
 	SizeCap int
 	// Unbounded switches the runtime to unbounded per-edge bandwidth
@@ -345,6 +351,84 @@ func ApproxMinCutContext(ctx context.Context, g *graph.Graph, opts *Options) (*R
 		Rounds:       stats.Rounds,
 		Messages:     stats.Delivered,
 		Stats:        stats,
+	}, nil
+}
+
+// BracketResult reports a bracket-tier run: a certified upper bound,
+// a probabilistic lower bound, and a witness cut for the upper bound.
+type BracketResult struct {
+	// Lo and Hi bracket the minimum cut, λ ∈ [Lo, Hi]: Hi is the
+	// tighter of the certified degree bound (Value, the weight of the
+	// witness cut) and the sampling-implied bound 2^Level·O(log n); Lo
+	// holds with high probability. λ ≤ Value always holds.
+	Lo, Hi int64
+	// Value is the weight of the witness cut behind Hi — the minimum
+	// weighted degree — and Side marks that cut: the singleton of the
+	// lowest-ID node attaining it (Side[v] == true for exactly that v).
+	Value int64
+	Side  []bool
+	// BestNode is the witness node; Level the first sampling level 2^-i
+	// whose skeleton disconnected (0 if none before the level cap);
+	// Trials the per-level trial count used.
+	BestNode graph.NodeID
+	Level    int
+	Trials   int
+	// Rounds and Messages are the CONGEST complexity of the whole run;
+	// Stats has the full accounting.
+	Rounds   int
+	Messages int64
+	Stats    *congest.Stats
+}
+
+// BracketMinCut runs the cheap bracket tier: iterated edge sampling at
+// rate 2^-i with a connectivity test per level — the first level whose
+// skeleton disconnects brackets λ within an O(log n) factor (after the
+// synchronous sampler of Karger [arXiv:0912.1200] as used by
+// Ghaffari–Kuhn [arXiv:1305.5520]). No tree packing runs at all, so
+// the whole protocol costs O(levels · (D + chunk)) rounds — a handful
+// of floods and convergecasts — which makes it the front tier ahead of
+// ApproxMinCut and MinCut. See sampling.Bracket for the protocol.
+func BracketMinCut(g *graph.Graph, opts *Options) (*BracketResult, error) {
+	return BracketMinCutContext(context.Background(), g, opts)
+}
+
+// BracketMinCutContext is BracketMinCut with cancellation; see
+// MinCutContext for the contract.
+func BracketMinCutContext(ctx context.Context, g *graph.Graph, opts *Options) (*BracketResult, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	var mu sync.Mutex
+	var out sampling.BracketOutcome
+	stats, err := o.runSim(ctx, g, func(nd *congest.Node) {
+		bfs := proto.BuildBFS(nd, 0, 1)
+		res := sampling.Bracket(nd, bfs, sampling.BracketConfig{
+			Seed:   o.Seed,
+			Trials: o.BracketTrials,
+		}, 100)
+		if nd.ID() == 0 {
+			mu.Lock()
+			out = res
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, ctxErr(ctx, err)
+	}
+	side := make([]bool, g.N())
+	side[out.MinDegreeNode] = true
+	return &BracketResult{
+		Lo:       out.Lo,
+		Hi:       out.Hi,
+		Value:    out.MinDegree,
+		Side:     side,
+		BestNode: graph.NodeID(out.MinDegreeNode),
+		Level:    out.Level,
+		Trials:   out.Trials,
+		Rounds:   stats.Rounds,
+		Messages: stats.Delivered,
+		Stats:    stats,
 	}, nil
 }
 

@@ -13,6 +13,12 @@ import "distmincut/internal/service"
 // around the corpus hits the content-addressed cache on every repeat,
 // which is the service's intended production profile (identical
 // (graph, params, seed) requests are deterministic).
+//
+// Both variants exercise every serving tier: legacy modes (exact,
+// respect, approx) plus the bracket tier and the approximation-first
+// tiered flow, so a loadgen pass measures the tier mix the service
+// actually offers — including the refining state and the cross-tier
+// cache traffic a tiered job's phase keys generate.
 func ServiceCorpus(quick bool) []service.JobRequest {
 	if quick {
 		return []service.JobRequest{
@@ -25,6 +31,12 @@ func ServiceCorpus(quick bool) []service.JobRequest {
 			{Graph: service.GraphSpec{Family: "cliquepath", Cliques: 4, CliqueSize: 8, Bridge: 2}, Mode: "respect"},
 			{Graph: service.GraphSpec{Family: "hypercube", Dim: 6}, Mode: "respect"},
 			{Graph: service.GraphSpec{Family: "cycle", N: 96}, Mode: "respect"},
+			// Serving tiers: a few-rounds bracket, a loose (1+ε), and the
+			// approximation-first tiered flow (whose exact phase key
+			// collides with the first entry's cache line by design).
+			{Graph: service.GraphSpec{Family: "planted", N1: 16, N2: 16, K: 2, InP: 0.5, Seed: 1}, Tier: service.TierBracket},
+			{Graph: service.GraphSpec{Family: "hypercube", Dim: 6}, Tier: service.TierApprox, Epsilon: 0.9},
+			{Graph: service.GraphSpec{Family: "planted", N1: 16, N2: 16, K: 2, InP: 0.5, Seed: 1}, Tier: service.TierTiered, Epsilon: 0.9},
 		}
 	}
 	return []service.JobRequest{
@@ -44,5 +56,11 @@ func ServiceCorpus(quick bool) []service.JobRequest {
 		{Graph: service.GraphSpec{Family: "planted", N1: 32, N2: 32, K: 4, InP: 0.3, Seed: 5}, Mode: "approx", Epsilon: 0.5},
 		{Graph: service.GraphSpec{Family: "gnp", N: 96, P: 0.1, Seed: 6}, Mode: "approx", Epsilon: 0.25},
 		{Graph: service.GraphSpec{Family: "random_regular", N: 64, Degree: 8, Seed: 7}, Mode: "respect"},
+		// Serving tiers at experiment scale: brackets on the scaling
+		// shapes and an approximation-first tiered job whose exact phase
+		// shares a cache key with the first E1 entry.
+		{Graph: service.GraphSpec{Family: "torus", Rows: 16, Cols: 16}, Tier: service.TierBracket},
+		{Graph: service.GraphSpec{Family: "gnp", N: 512, P: 8.0 / 512, Seed: 4}, Tier: service.TierBracket},
+		{Graph: service.GraphSpec{Family: "planted", N1: 24, N2: 24, K: 3, InP: 0.4, Seed: 1}, Tier: service.TierTiered, Epsilon: 0.5},
 	}
 }

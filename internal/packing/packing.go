@@ -50,7 +50,16 @@ func TheoreticalTau(lambda int64, n int) int {
 // measures the actual number of trees needed until some tree
 // 1-respects a minimum cut; this bound exceeds it with a wide margin on
 // every workload family in the suite.
+//
+// λ = 1 is special-cased to a single tree: with integer weights ≥ 1 a
+// cut of weight 1 is a single bridge, every spanning tree contains
+// every bridge, so the first packed tree already 1-respects any
+// weight-1 cut. This keeps the λ̂ = 1 doubling guess O(1) trees at any
+// scale instead of Θ(ln n).
 func PracticalTau(lambda int64, n int) int {
+	if lambda <= 1 {
+		return 1
+	}
 	return int(math.Ceil(3*float64(lambda)*math.Log(float64(n)+2))) + 3
 }
 
@@ -139,12 +148,22 @@ func Pack(nd *congest.Node, bfs *proto.Overlay, tau int, loads map[int]int64, op
 }
 
 // ExactDoubling runs the paper's main algorithm: double λ̂ and extend
-// the greedy packing to tauOf(λ̂, n) trees until the best cut found is
-// ≤ λ̂ — at that point the packing provably contained a tree
-// 1-respecting a minimum cut, so the result is exact. maxLambda bounds
-// the search (poly(λ) trees are only tractable for small λ; larger cuts
-// are handled by the sampling reduction). Returns the result and
-// whether it is certified exact.
+// the greedy packing until the best cut found is ≤ λ̂ with enough trees
+// behind it — at that point the packing provably contained a tree
+// 1-respecting a minimum cut, so the result is exact.
+//
+// Each guess packs with StopBelow = λ̂ so the expensive per-tree work
+// halts the moment a candidate ≤ λ̂ appears; certification then tops the
+// packing up one tree at a time until it holds tauOf(bestCut, n) trees.
+// This is sound: bestCut ≥ λ, tauOf is monotone, so tauOf(bestCut) ≥
+// tauOf(λ) trees guarantee some packed tree 1-respects a minimum cut
+// and the minimum over packed trees is exactly λ. It is also what makes
+// the λ̂ = 1 guess O(1) trees on million-edge instances instead of a
+// full Θ(λ̂ ln n) schedule.
+//
+// maxLambda bounds the search (poly(λ) trees are only tractable for
+// small λ; larger cuts are handled by the sampling reduction). Returns
+// the result and whether it is certified exact.
 func ExactDoubling(nd *congest.Node, bfs *proto.Overlay, tauOf func(lambda int64, n int) int, maxLambda int64, opts Options, tagBase uint32) (*Result, bool) {
 	if tauOf == nil {
 		tauOf = PracticalTau
@@ -158,8 +177,22 @@ func ExactDoubling(nd *congest.Node, bfs *proto.Overlay, tauOf func(lambda int64
 	for lambda := int64(1); ; lambda *= 2 {
 		target := tauOf(lambda, nd.N())
 		if extra := target - res.Trees; extra > 0 {
-			res = Pack(nd, bfs, extra, loads, opts, tag, res)
+			guess := opts
+			if guess.StopBelow <= 0 || lambda < guess.StopBelow {
+				guess.StopBelow = lambda
+			}
+			res = Pack(nd, bfs, extra, loads, guess, tag, res)
 			tag += uint32(extra) * TreeTagSpan
+			if !res.Connected {
+				return res, false
+			}
+		}
+		// Top up after an early stop: certification needs tauOf(bestCut)
+		// trees. One tree per step — the best cut can keep dropping while
+		// topping up, which shrinks the requirement.
+		for res.Cut <= lambda && res.Trees < tauOf(res.Cut, nd.N()) {
+			res = Pack(nd, bfs, 1, loads, opts, tag, res)
+			tag += TreeTagSpan
 			if !res.Connected {
 				return res, false
 			}

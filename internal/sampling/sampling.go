@@ -11,6 +11,16 @@
 // communication; SampleWeight therefore derives its randomness from a
 // splitmix64 hash of (seed, packed endpoints, level) — shared
 // deterministic randomness, the standard public-coins assumption.
+//
+// The same sampling machinery also powers the bracket serving tier
+// (Bracket): instead of packing trees on a skeleton, it only tests
+// skeleton connectivity level by level. A skeleton sampled at rate
+// 2^-i stays connected w.h.p. while 2^i ≪ λ/log n and is disconnected
+// once 2^i ≫ λ, so the first disconnected level brackets λ within an
+// O(log n) factor [GK13 arXiv:1305.5520, Kar99 arXiv:0912.1200] — in a
+// handful of rounds, with no tree ever built. The returned upper bound
+// is additionally capped by the minimum weighted degree, a certified
+// singleton cut that doubles as the bracket's witness.
 package sampling
 
 import (

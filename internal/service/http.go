@@ -11,7 +11,8 @@ import (
 // within it).
 const DefaultMaxBody int64 = 64 << 20
 
-// API wraps a Service with its HTTP/JSON surface.
+// API wraps a Service with its HTTP/JSON surface. See docs/API.md for
+// the full reference with examples.
 //
 //	POST   /v1/jobs           submit a JobRequest
 //	GET    /v1/jobs/{id}      job state, progress, result when done
@@ -24,6 +25,12 @@ const DefaultMaxBody int64 = 64 << 20
 // are coalesced onto that execution but still receive their own job
 // ID: DELETE cancels only the caller's job, and the shared protocol
 // run is abandoned only when every coalesced submitter has canceled.
+//
+// A job's tier (JobRequest.Tier) selects the computation served. Jobs
+// at tier "tiered" pass through the extra state "refining": the view's
+// approx field carries the published (1+ε) result while the exact
+// certified cut is still running, and stays on the view through done,
+// canceled, and drained outcomes.
 type API struct {
 	svc *Service
 	// MaxBody bounds the submit request body (DefaultMaxBody if 0).

@@ -14,16 +14,28 @@ import (
 
 	"distmincut"
 	"distmincut/internal/congest"
+	"distmincut/internal/graph"
 )
 
 // State is a job's lifecycle phase.
 type State string
 
 const (
-	StateQueued   State = "queued"
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
+	// StateQueued: accepted, waiting for a pool worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is executing the protocol.
+	StateRunning State = "running"
+	// StateRefining is the tiered tier's intermediate phase: the job's
+	// approximate answer is already published (JobView.Approx) while
+	// the exact certified cut is still being computed. Canceling or
+	// draining a refining job keeps the published approximate payload
+	// on the job record.
+	StateRefining State = "refining"
+	// StateDone: finished with a result (terminal).
+	StateDone State = "done"
+	// StateFailed: finished with an error (terminal).
+	StateFailed State = "failed"
+	// StateCanceled: canceled by request or drain deadline (terminal).
 	StateCanceled State = "canceled"
 )
 
@@ -93,17 +105,28 @@ func (o Options) withDefaults() Options {
 // function of the canonical request, which is what makes cached bytes
 // reusable verbatim.
 type Result struct {
-	Key         string `json:"key"`
-	Mode        string `json:"mode"`
-	N           int    `json:"n"`
-	M           int    `json:"m"`
-	Value       int64  `json:"value"`
-	Exact       bool   `json:"exact"`
-	BestNode    int64  `json:"best_node"`
-	TreesPacked int    `json:"trees_packed"`
-	Levels      int    `json:"levels"`
-	Rounds      int    `json:"rounds"`
-	Messages    int64  `json:"messages"`
+	Key string `json:"key"`
+	// Mode mirrors Tier (it predates tiers and is kept for clients
+	// reading the original field).
+	Mode string `json:"mode"`
+	// Tier names the serving tier that produced this result: exact,
+	// approx, bracket, or respect. A tiered job never appears here —
+	// its phases are cached as their own tiers.
+	Tier string `json:"tier"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+	// Value is the weight of the returned cut. For the bracket tier it
+	// is the certified witness cut (minimum weighted degree) and Lo/Hi
+	// bracket the true λ; for other tiers Lo/Hi are omitted.
+	Value       int64 `json:"value"`
+	Lo          int64 `json:"lo,omitempty"`
+	Hi          int64 `json:"hi,omitempty"`
+	Exact       bool  `json:"exact"`
+	BestNode    int64 `json:"best_node"`
+	TreesPacked int   `json:"trees_packed"`
+	Levels      int   `json:"levels"`
+	Rounds      int   `json:"rounds"`
+	Messages    int64 `json:"messages"`
 	// SideIn is the size of the cut side marked true; Side is the full
 	// side assignment as a base64 bitset (node i = bit i%8 of byte
 	// i/8).
@@ -118,11 +141,13 @@ type Result struct {
 type job struct {
 	id       string
 	key      string
+	tier     string
 	state    State
 	cacheHit bool
 	err      string
 	result   []byte
-	setupNs  int64 // engine setup time of the completed run (0 for cache hits)
+	approx   []byte // tiered: the published approximate-phase result
+	setupNs  int64  // engine setup time of the completed run (0 for cache hits)
 	progress *congest.Progress
 	exec     *exec // nil once terminal (or for cache-hit records)
 	created  time.Time
@@ -137,16 +162,24 @@ type job struct {
 type exec struct {
 	key      string
 	req      JobRequest
-	state    State // StateQueued or StateRunning; terminal states live on jobs
+	tier     string
+	state    State // StateQueued, StateRunning or StateRefining; terminal states live on jobs
 	progress *congest.Progress
 	cancel   context.CancelFunc // set once running
 	waiters  []*job             // attached, non-terminal job records
+	// Tiered executions address each phase under the key a direct
+	// submission of that tier would get (see TierKey); approx carries
+	// the published phase-1 bytes once the execution is refining.
+	approxKey string
+	exactKey  string
+	approx    []byte
 }
 
 // JobView is an immutable snapshot of a job for API responses.
 type JobView struct {
 	ID       string `json:"job_id"`
 	Key      string `json:"key"`
+	Tier     string `json:"tier,omitempty"`
 	State    State  `json:"state"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
 	// Rounds and Delivered report live protocol progress while the job
@@ -158,8 +191,12 @@ type JobView struct {
 	// here, a warm one near nothing, so the field makes per-worker
 	// engine reuse observable. Zero for cache hits and unfinished jobs.
 	// Incidental timing, deliberately kept out of the cacheable Result.
-	SetupNs   int64           `json:"setup_ns,omitempty"`
-	Error     string          `json:"error,omitempty"`
+	SetupNs int64  `json:"setup_ns,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// Approx is the tiered tier's published approximate-phase result:
+	// populated from the moment the job enters state "refining" and
+	// retained through done, canceled, and drained outcomes.
+	Approx    json.RawMessage `json:"approx,omitempty"`
 	Result    json.RawMessage `json:"result,omitempty"`
 	CreatedAt time.Time       `json:"created_at"`
 }
@@ -171,15 +208,18 @@ type Metrics struct {
 	QueueDepth    int     `json:"queue_depth"`
 	QueueCapacity int     `json:"queue_capacity"`
 	Running       int     `json:"running"`
-	Submitted     int64   `json:"jobs_submitted"`
-	Completed     int64   `json:"jobs_completed"`
-	Failed        int64   `json:"jobs_failed"`
-	Canceled      int64   `json:"jobs_canceled"`
-	Coalesced     int64   `json:"jobs_coalesced"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	CacheHitRate  float64 `json:"cache_hit_rate"`
-	CacheEntries  int     `json:"cache_entries"`
+	// Refining counts executions that have published an approximate
+	// answer and are still computing the exact one.
+	Refining     int     `json:"refining"`
+	Submitted    int64   `json:"jobs_submitted"`
+	Completed    int64   `json:"jobs_completed"`
+	Failed       int64   `json:"jobs_failed"`
+	Canceled     int64   `json:"jobs_canceled"`
+	Coalesced    int64   `json:"jobs_coalesced"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
 	// RoundsTotal sums the CONGEST rounds of completed jobs;
 	// RoundsPerSec divides it by the pool's cumulative busy time.
 	// LiveRounds adds the current gauges of running jobs.
@@ -244,31 +284,58 @@ func New(opts Options) *Service {
 // A coalesced submission still gets its own job ID: every submitter
 // polls and cancels an independent record, and only the shared
 // execution (one protocol run, one cache fill) is deduplicated.
+//
+// A tiered request is served from the cache when its exact phase key
+// is cached (the exact answer subsumes the approximate one; the cached
+// approx-phase bytes ride along when present), and a coalesced tiered
+// submission joining a refining execution receives the already
+// published approximate payload immediately.
 func (s *Service) Submit(req JobRequest) (JobView, error) {
 	canon, key, err := CanonicalRequest(req, s.opts.Limits)
 	if err != nil {
 		return JobView{}, err
+	}
+	tiered := canon.Tier == TierTiered
+	var approxKey, exactKey string
+	if tiered {
+		// Phase keys are derived from the canonical request, so neither
+		// derivation can fail after CanonicalRequest succeeded.
+		if approxKey, err = TierKey(canon, TierApprox, s.opts.Limits); err != nil {
+			return JobView{}, err
+		}
+		if exactKey, err = TierKey(canon, TierExact, s.opts.Limits); err != nil {
+			return JobView{}, err
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return JobView{}, ErrClosed
 	}
-	if data, ok := s.cache.get(key, true); ok {
+	lookup := key
+	if tiered {
+		lookup = exactKey
+	}
+	if data, ok := s.cache.get(lookup, true); ok {
 		s.submitted.Add(1)
-		j := s.newJobLocked(key)
+		j := s.newJobLocked(key, canon.Tier)
 		j.state = StateDone
 		j.cacheHit = true
 		j.result = data
 		j.finished = j.created
+		if tiered {
+			// Uncounted: the submit-path cache signal was the exact key.
+			j.approx, _ = s.cache.get(approxKey, false)
+		}
 		s.retireLocked(j)
 		return s.viewLocked(j), nil
 	}
 	if e, ok := s.inflight[key]; ok {
 		s.submitted.Add(1)
 		s.coalesced.Add(1)
-		j := s.newJobLocked(key)
+		j := s.newJobLocked(key, canon.Tier)
 		j.state = e.state
+		j.approx = e.approx
 		j.progress = e.progress
 		j.exec = e
 		e.waiters = append(e.waiters, j)
@@ -280,8 +347,11 @@ func (s *Service) Submit(req JobRequest) (JobView, error) {
 		return JobView{}, fmt.Errorf("%w (depth %d)", ErrBusy, cap(s.queue))
 	}
 	s.submitted.Add(1)
-	e := &exec{key: key, req: canon, state: StateQueued, progress: &congest.Progress{}}
-	j := s.newJobLocked(key)
+	e := &exec{
+		key: key, req: canon, tier: canon.Tier, state: StateQueued,
+		progress: &congest.Progress{}, approxKey: approxKey, exactKey: exactKey,
+	}
+	j := s.newJobLocked(key, canon.Tier)
 	j.state = StateQueued
 	j.progress = e.progress
 	j.exec = e
@@ -303,11 +373,12 @@ func (s *Service) retireLocked(j *job) {
 }
 
 // newJobLocked allocates and registers a job record. Caller holds mu.
-func (s *Service) newJobLocked(key string) *job {
+func (s *Service) newJobLocked(key, tier string) *job {
 	s.nextID++
 	j := &job{
 		id:      "j" + strconv.FormatInt(s.nextID, 10),
 		key:     key,
+		tier:    tier,
 		created: time.Now(),
 	}
 	s.jobs[j.id] = j
@@ -377,6 +448,7 @@ func (s *Service) viewLocked(j *job) JobView {
 	v := JobView{
 		ID:        j.id,
 		Key:       j.key,
+		Tier:      j.tier,
 		State:     j.state,
 		CacheHit:  j.cacheHit,
 		Error:     j.err,
@@ -387,6 +459,11 @@ func (s *Service) viewLocked(j *job) JobView {
 		v.Delivered = j.progress.Delivered()
 	}
 	v.SetupNs = j.setupNs
+	if j.approx != nil {
+		// Published when the job entered refining; survives cancel and
+		// drain so the submitter keeps the fast answer either way.
+		v.Approx = json.RawMessage(j.approx)
+	}
 	if j.state == StateDone {
 		v.Result = json.RawMessage(j.result)
 	}
@@ -420,8 +497,11 @@ func (s *Service) Metrics() Metrics {
 	}
 	s.mu.Lock()
 	for _, e := range s.inflight {
-		if e.state == StateRunning {
+		if e.state == StateRunning || e.state == StateRefining {
 			m.LiveRounds += int64(e.progress.Round())
+		}
+		if e.state == StateRefining {
+			m.Refining++
 		}
 	}
 	s.mu.Unlock()
@@ -516,7 +596,13 @@ func (s *Service) runExec(eng *congest.Engine, e *exec) {
 	now := time.Now()
 	switch {
 	case err == nil:
-		s.cache.put(e.key, res)
+		if e.tier != TierTiered {
+			// Tiered results live under their phase keys only (the
+			// execution cached both phases as it produced them); caching
+			// the exact bytes under the tiered key too would serve a
+			// result whose self-reported key differs from the lookup key.
+			s.cache.put(e.key, res)
+		}
 		s.completed.Add(1)
 		s.rounds.Add(int64(e.progress.Round()))
 		s.busyNanos.Add(now.Sub(started).Nanoseconds())
@@ -564,9 +650,9 @@ func (s *Service) executeSafe(ctx context.Context, eng *congest.Engine, e *exec)
 	return s.execute(ctx, eng, e)
 }
 
-// execute builds the graph and runs the requested protocol on the
-// worker's warm engine, returning canonical result bytes plus the
-// engine setup time of the run (for JobView.SetupNs).
+// execute builds the graph and runs the requested tier on the worker's
+// warm engine, returning canonical result bytes plus the engine setup
+// time of the run (for JobView.SetupNs).
 func (s *Service) execute(ctx context.Context, eng *congest.Engine, e *exec) ([]byte, int64, error) {
 	// Fast-fail before the (possibly large) graph build: after a
 	// deadline-forced shutdown the queue may still hold jobs, and the
@@ -579,6 +665,63 @@ func (s *Service) execute(ctx context.Context, eng *congest.Engine, e *exec) ([]
 	if err != nil {
 		return nil, 0, err
 	}
+	if e.tier == TierTiered {
+		return s.executeTiered(ctx, eng, e, g)
+	}
+	return s.runTier(ctx, eng, e, g, e.tier, e.key)
+}
+
+// executeTiered runs the approximation-first flow: the (1+ε) phase is
+// computed (or taken from the cache), cached under its own tier key,
+// and published to every waiter as state "refining"; then the exact
+// phase runs the genuine exact pipeline — never a re-encoding of the
+// approx phase, so the bytes cached under the exact tier key are
+// byte-identical to a direct exact submission's — and becomes the
+// job's final result.
+func (s *Service) executeTiered(ctx context.Context, eng *congest.Engine, e *exec, g *graph.Graph) ([]byte, int64, error) {
+	var setupNs int64
+	approx, ok := s.cache.get(e.approxKey, true)
+	if !ok {
+		var err error
+		var ns int64
+		approx, ns, err = s.runTier(ctx, eng, e, g, TierApprox, e.approxKey)
+		if err != nil {
+			return nil, 0, err
+		}
+		setupNs += ns
+		s.cache.put(e.approxKey, approx)
+	}
+	s.publishRefining(e, approx)
+	exact, ok := s.cache.get(e.exactKey, true)
+	if !ok {
+		var err error
+		var ns int64
+		exact, ns, err = s.runTier(ctx, eng, e, g, TierExact, e.exactKey)
+		if err != nil {
+			return nil, 0, err
+		}
+		setupNs += ns
+		s.cache.put(e.exactKey, exact)
+	}
+	return exact, setupNs, nil
+}
+
+// publishRefining moves a tiered execution into the refining state and
+// hands the approximate payload to every attached job record.
+func (s *Service) publishRefining(e *exec, approx []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.state = StateRefining
+	e.approx = approx
+	for _, j := range e.waiters {
+		j.state = StateRefining
+		j.approx = approx
+	}
+}
+
+// runTier runs one serving tier's protocol and encodes its canonical
+// result bytes under the given key.
+func (s *Service) runTier(ctx context.Context, eng *congest.Engine, e *exec, g *graph.Graph, tier, key string) ([]byte, int64, error) {
 	opts := &distmincut.Options{
 		Seed:           e.req.Seed,
 		Epsilon:        e.req.Epsilon,
@@ -588,40 +731,60 @@ func (s *Service) execute(ctx context.Context, eng *congest.Engine, e *exec) ([]
 		Progress:       e.progress,
 		CheckPayload:   s.opts.CheckPayload,
 	}
+	if tier == TierBracket {
+		br, err := distmincut.BracketMinCutContext(ctx, g, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		data, err := encodeBracket(key, g.N(), g.M(), br)
+		if err != nil {
+			return nil, 0, err
+		}
+		return data, br.Stats.SetupNanos, nil
+	}
 	var res *distmincut.Result
-	switch e.req.Mode {
-	case "exact":
+	var err error
+	switch tier {
+	case TierExact:
 		res, err = distmincut.MinCutContext(ctx, g, opts)
-	case "approx":
+	case TierApprox:
 		res, err = distmincut.ApproxMinCutContext(ctx, g, opts)
-	case "respect":
+	case TierRespect:
 		res, _, err = distmincut.OneRespectingCutContext(ctx, g, opts)
 	default:
-		return nil, 0, bad("unknown mode %q", e.req.Mode)
+		return nil, 0, bad("unknown tier %q", tier)
 	}
 	if err != nil {
 		return nil, 0, err
 	}
-	data, err := encodeResult(e.key, e.req.Mode, g.N(), g.M(), res)
+	data, err := encodeResult(key, tier, g.N(), g.M(), res)
 	if err != nil {
 		return nil, 0, err
 	}
 	return data, res.Stats.SetupNanos, nil
 }
 
-// encodeResult renders the canonical result bytes for the cache.
-func encodeResult(key, mode string, n, m int, res *distmincut.Result) ([]byte, error) {
-	bits := make([]byte, (len(res.Side)+7)/8)
+// sideBits packs a side assignment into the canonical base64 bitset.
+func sideBits(side []bool) (string, int) {
+	bits := make([]byte, (len(side)+7)/8)
 	sideIn := 0
-	for i, in := range res.Side {
+	for i, in := range side {
 		if in {
 			bits[i/8] |= 1 << (i % 8)
 			sideIn++
 		}
 	}
+	return base64.StdEncoding.EncodeToString(bits), sideIn
+}
+
+// encodeResult renders the canonical result bytes for the cache. The
+// tier doubles as the legacy mode field.
+func encodeResult(key, tier string, n, m int, res *distmincut.Result) ([]byte, error) {
+	side, sideIn := sideBits(res.Side)
 	out := Result{
 		Key:         key,
-		Mode:        mode,
+		Mode:        tier,
+		Tier:        tier,
 		N:           n,
 		M:           m,
 		Value:       res.Value,
@@ -632,7 +795,32 @@ func encodeResult(key, mode string, n, m int, res *distmincut.Result) ([]byte, e
 		Rounds:      res.Rounds,
 		Messages:    res.Messages,
 		SideIn:      sideIn,
-		Side:        base64.StdEncoding.EncodeToString(bits),
+		Side:        side,
+	}
+	return json.Marshal(&out)
+}
+
+// encodeBracket renders the bracket tier's canonical result bytes: the
+// certified witness cut (the minimum weighted degree singleton) as the
+// value/side, plus the [lo, hi] bracket on λ and the first disconnected
+// sampling level.
+func encodeBracket(key string, n, m int, br *distmincut.BracketResult) ([]byte, error) {
+	side, sideIn := sideBits(br.Side)
+	out := Result{
+		Key:      key,
+		Mode:     TierBracket,
+		Tier:     TierBracket,
+		N:        n,
+		M:        m,
+		Value:    br.Value,
+		Lo:       br.Lo,
+		Hi:       br.Hi,
+		BestNode: int64(br.BestNode),
+		Levels:   br.Level,
+		Rounds:   br.Rounds,
+		Messages: br.Messages,
+		SideIn:   sideIn,
+		Side:     side,
 	}
 	return json.Marshal(&out)
 }

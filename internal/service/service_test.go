@@ -538,7 +538,7 @@ func TestWorkerSurvivesPanickingBuild(t *testing.T) {
 		state:    StateQueued,
 		progress: &congest.Progress{},
 	}
-	j := s.newJobLocked(e.key)
+	j := s.newJobLocked(e.key, TierExact)
 	j.state = StateQueued
 	j.progress = e.progress
 	j.exec = e

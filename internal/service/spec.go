@@ -1,8 +1,20 @@
 // Package service turns the distmincut library into a concurrent
-// min-cut computation service: a bounded worker pool executing jobs, a
-// content-addressed result cache, job states with live round/message
-// progress, cancellation, and graceful drain. cmd/mincutd exposes it
-// over HTTP/JSON and cmd/loadgen drives it under load.
+// min-cut computation service: a bounded worker pool executing jobs at
+// several serving tiers, a content-addressed result cache, job states
+// with live round/message progress, cancellation, and graceful drain.
+// cmd/mincutd exposes it over HTTP/JSON and cmd/loadgen drives it
+// under load.
+//
+// # Serving tiers
+//
+// Every job names a tier (JobRequest.Tier, the Tier* constants):
+// bracket, approx, exact, respect, or tiered. The tiered tier is
+// approximation-first serving — one job that runs the (1+ε) protocol,
+// publishes that answer to all its waiters as state StateRefining, and
+// then runs the genuine exact pipeline to its final result. Each phase
+// is cached under the key a direct submission of that tier would use
+// (TierKey), so phase results and direct-tier traffic share cache
+// entries in both directions.
 //
 // # Warm workers
 //
@@ -17,21 +29,32 @@
 // # Cache-key canonicalization
 //
 // A job is identified by the SHA-256 of its canonical request. The
-// canonical form is computed by CanonicalRequest: defaults are applied
-// (mode "exact", seed 1, epsilon 0.5 for approx), every field not
-// consumed by the request's graph family or mode is zeroed, and an
-// uploaded edge list is rewritten to its canonical order (endpoints
-// u < v, edges sorted by (u, v)). The normalized request is serialized
-// as JSON with a format-version prefix and hashed. Two requests that
-// describe the same computation — whatever field noise or edge order
-// they arrived with — therefore map to the same key, and because every
-// computation in this repository is deterministic in (graph, params,
-// seed), a key maps to exactly one result byte string: repeat
-// submissions are served from the cache without re-running the
-// protocol, and GET /v1/results/{key} is immutable. Engine concurrency
-// knobs (worker lanes, delivery shards) are deliberately excluded from
-// the key: the runtime guarantees results are identical under any
-// setting, so they are service configuration, not job identity.
+// canonical form is computed by CanonicalRequest: the legacy mode
+// field is folded into the tier (they must agree when both are set;
+// the default is tier "exact"), defaults are applied (seed 1, epsilon
+// 0.5 on the tiers that consume it), epsilon is kept only for the
+// approx and tiered tiers and zeroed elsewhere, every field not
+// consumed by the request's graph family is zeroed, and an uploaded
+// edge list is rewritten to its canonical order (endpoints u < v,
+// edges sorted by (u, v)). The normalized request is serialized as
+// JSON with a format-version prefix (specVersion, currently v2: the
+// canonical form names a tier, never a mode) and hashed. Two requests
+// that describe the same computation — whatever field noise, legacy
+// mode spelling, or edge order they arrived with — therefore map to
+// the same key, and because every computation in this repository is
+// deterministic in (graph, params, seed), a key maps to exactly one
+// result byte string: repeat submissions are served from the cache
+// without re-running the protocol, and GET /v1/results/{key} is
+// immutable.
+//
+// The tier is part of the key: the same graph served at two tiers is
+// two cache entries. TierKey re-addresses a canonical request at
+// another tier, which is how a tiered job names its phase results with
+// the exact same keys direct approx/exact submissions produce. Engine
+// concurrency knobs (worker lanes, delivery shards) are deliberately
+// excluded from the key: the runtime guarantees results are identical
+// under any setting, so they are service configuration, not job
+// identity.
 package service
 
 import (
@@ -124,40 +147,111 @@ type GraphSpec struct {
 	Weights *WeightSpec `json:"weights,omitempty"`
 }
 
+// Serving tiers, cheapest first. A tier names the computation a job
+// runs, and is part of the canonical request — results are
+// content-addressed under (spec, tier), so the same graph served at
+// two tiers occupies two cache keys.
+const (
+	// TierBracket is the sampled-connectivity bracket
+	// (distmincut.BracketMinCut): λ ∈ [lo, hi] in a handful of rounds.
+	TierBracket = "bracket"
+	// TierApprox is the (1+ε) sampling reduction
+	// (distmincut.ApproxMinCut).
+	TierApprox = "approx"
+	// TierExact is the certified exact pipeline (distmincut.MinCut).
+	TierExact = "exact"
+	// TierRespect is Theorem 2.1 alone (distmincut.OneRespectingCut).
+	TierRespect = "respect"
+	// TierTiered is approximation-first serving: the job publishes its
+	// (1+ε) answer as soon as it is available (state "refining") and
+	// continues to the exact certified cut. Each phase is cached under
+	// the key a direct submission of that tier would get (see TierKey),
+	// so both phases are cache-hits on resubmission at any tier.
+	TierTiered = "tiered"
+)
+
 // JobRequest is one min-cut computation request.
 type JobRequest struct {
 	Graph GraphSpec `json:"graph"`
-	// Mode is exact (default), approx, or respect.
+	// Mode is the legacy protocol selector: exact (default), approx, or
+	// respect. When Tier is set, Mode must be empty or name the same
+	// computation.
 	Mode string `json:"mode,omitempty"`
-	// Epsilon is the approximation parameter (approx mode only;
-	// default 0.5).
+	// Tier selects the serving tier: exact (default), approx, bracket,
+	// respect, or tiered (approximation first, exact refinement in the
+	// background). See the Tier* constants.
+	Tier string `json:"tier,omitempty"`
+	// Epsilon is the approximation parameter (approx and tiered tiers
+	// only; default 0.5).
 	Epsilon float64 `json:"epsilon,omitempty"`
 	// Seed drives the protocol's randomness (default 1).
 	Seed int64 `json:"seed,omitempty"`
 }
 
 // specVersion prefixes the hashed bytes so a format change can never
-// collide with keys of the old format.
-const specVersion = "mincutd/v1\n"
+// collide with keys of the old format. v2: tier-qualified keys — the
+// canonical form names a tier instead of a mode.
+const specVersion = "mincutd/v2\n"
 
 func bad(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
 }
 
+// resolveTier maps the (Mode, Tier) pair onto the canonical tier. Mode
+// is the legacy selector; when both are set they must agree.
+func resolveTier(req JobRequest) (string, error) {
+	var fromMode string
+	switch req.Mode {
+	case "":
+		fromMode = ""
+	case "exact":
+		fromMode = TierExact
+	case "approx":
+		fromMode = TierApprox
+	case "respect":
+		fromMode = TierRespect
+	default:
+		return "", bad("unknown mode %q", req.Mode)
+	}
+	switch req.Tier {
+	case "":
+		if fromMode == "" {
+			return TierExact, nil
+		}
+		return fromMode, nil
+	case TierExact, TierApprox, TierRespect:
+		if fromMode != "" && fromMode != req.Tier {
+			return "", bad("mode %q conflicts with tier %q", req.Mode, req.Tier)
+		}
+		return req.Tier, nil
+	case TierBracket, TierTiered:
+		if req.Mode != "" {
+			return "", bad("tier %q takes no mode, got %q", req.Tier, req.Mode)
+		}
+		return req.Tier, nil
+	default:
+		return "", bad("unknown tier %q", req.Tier)
+	}
+}
+
 // CanonicalRequest validates req against limits and returns its
 // canonical form plus the content-address key (hex SHA-256). See the
-// package docs for the canonicalization contract.
+// package docs for the canonicalization contract: the canonical form
+// names a tier (Mode is folded into it), keeps Epsilon only for the
+// tiers that consume it (approx, tiered), and normalizes the graph
+// spec.
 func CanonicalRequest(req JobRequest, limits Limits) (JobRequest, string, error) {
 	limits = limits.withDefaults()
 	c := JobRequest{Seed: req.Seed}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	switch req.Mode {
-	case "", "exact":
-		c.Mode = "exact"
-	case "approx":
-		c.Mode = "approx"
+	tier, err := resolveTier(req)
+	if err != nil {
+		return c, "", err
+	}
+	c.Tier = tier
+	if tier == TierApprox || tier == TierTiered {
 		c.Epsilon = req.Epsilon
 		if c.Epsilon == 0 {
 			c.Epsilon = 0.5
@@ -165,10 +259,6 @@ func CanonicalRequest(req JobRequest, limits Limits) (JobRequest, string, error)
 		if c.Epsilon <= 0 || c.Epsilon >= 1 || math.IsNaN(c.Epsilon) {
 			return c, "", bad("epsilon %v outside (0, 1)", req.Epsilon)
 		}
-	case "respect":
-		c.Mode = "respect"
-	default:
-		return c, "", bad("unknown mode %q", req.Mode)
 	}
 	g, err := canonicalGraph(req.Graph, limits)
 	if err != nil {
@@ -181,6 +271,21 @@ func CanonicalRequest(req JobRequest, limits Limits) (JobRequest, string, error)
 	}
 	sum := sha256.Sum256(append([]byte(specVersion), blob...))
 	return c, hex.EncodeToString(sum[:]), nil
+}
+
+// TierKey re-addresses an already-canonical request at another tier
+// and returns that tier's content-address key. This is how a tiered
+// job names its phase results: the approx phase is cached under
+// TierKey(canon, TierApprox) and the exact phase under
+// TierKey(canon, TierExact) — exactly the keys direct submissions at
+// those tiers produce, so results flow between the tiered path and
+// direct-tier traffic in both directions.
+func TierKey(canon JobRequest, tier string, limits Limits) (string, error) {
+	c := canon
+	c.Mode = ""
+	c.Tier = tier
+	_, key, err := CanonicalRequest(c, limits)
+	return key, err
 }
 
 // canonicalGraph validates and normalizes one graph spec: only the

@@ -46,6 +46,81 @@ func bridgedExpanders(half, deg int, seed int64) *graph.Graph {
 	return g
 }
 
+// BenchmarkApproxMillion runs the (1+ε) serving tier on the same
+// million-edge topology — with the DEFAULT τ policy, no benchmark-only
+// shortcut. This is the scale proof for the sampling reduction's
+// multi-level packing: λ = 1 ≤ κ, so level 0's capped exact search
+// resolves the cut exactly, and PracticalTau's λ=1 single-tree
+// schedule plus ExactDoubling's early-stop certification keep the
+// packing O(1) trees instead of Θ(ln n) full trees.
+func BenchmarkApproxMillion(b *testing.B) {
+	pipelineGraph.once.Do(func() {
+		pipelineGraph.g = bridgedExpanders(125_000, 8, 9)
+	})
+	g := pipelineGraph.g
+	eng := congest.NewEngine(congest.Options{})
+	defer eng.Close()
+	opts := &distmincut.Options{
+		Workers: runtime.GOMAXPROCS(0),
+		Engine:  eng,
+	}
+	b.ResetTimer()
+	var rounds, messages, setup int64
+	for i := 0; i < b.N; i++ {
+		res, err := distmincut.ApproxMinCut(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Value != 1 || !res.Exact {
+			b.Fatalf("cut = %d (exact %v), want exact 1", res.Value, res.Exact)
+		}
+		rounds = int64(res.Rounds)
+		messages = res.Messages
+		setup += res.Stats.SetupNanos
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(messages), "messages")
+	b.ReportMetric(float64(setup)/float64(b.N), "setup-ns")
+	b.ReportMetric((float64(b.Elapsed().Nanoseconds())-float64(setup))/float64(b.N), "round-ns")
+}
+
+// BenchmarkBracketMillion runs the bracket serving tier at the same
+// scale. The planted bridge disconnects the very first sampled
+// skeleton, so the whole protocol is a BFS overlay, a couple of
+// degree convergecasts, and a handful of short sampled floods — the
+// few-rounds front tier the service serves ahead of the two packing
+// tiers.
+func BenchmarkBracketMillion(b *testing.B) {
+	pipelineGraph.once.Do(func() {
+		pipelineGraph.g = bridgedExpanders(125_000, 8, 9)
+	})
+	g := pipelineGraph.g
+	eng := congest.NewEngine(congest.Options{})
+	defer eng.Close()
+	opts := &distmincut.Options{
+		Workers: runtime.GOMAXPROCS(0),
+		Engine:  eng,
+	}
+	b.ResetTimer()
+	var rounds, messages, setup int64
+	for i := 0; i < b.N; i++ {
+		res, err := distmincut.BracketMinCut(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Lo > 1 || res.Hi < 1 {
+			b.Fatalf("bracket [%d, %d] misses λ = 1", res.Lo, res.Hi)
+		}
+		rounds = int64(res.Rounds)
+		messages = res.Messages
+		setup += res.Stats.SetupNanos
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(messages), "messages")
+	b.ReportMetric(float64(setup)/float64(b.N), "setup-ns")
+	b.ReportMetric((float64(b.Elapsed().Nanoseconds())-float64(setup))/float64(b.N), "round-ns")
+}
+
 func BenchmarkPipelineMillion(b *testing.B) {
 	pipelineGraph.once.Do(func() {
 		pipelineGraph.g = bridgedExpanders(125_000, 8, 9)
