@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short vet fmt-check docs-check bench bench-service bench-gate ci
+.PHONY: build test test-short test-chaos vet fmt-check docs-check bench bench-service bench-gate ci
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,14 @@ test:
 # experiment-suite tests skipped via testing.Short.
 test-short:
 	$(GO) test -race -short ./...
+
+# test-chaos compiles the fault-injection sites live (-tags chaos) and
+# runs the chaos suite plus the service tests under the race detector:
+# injected panics/stalls at the engine round barrier, worker, cancel,
+# drain, and admission paths must never kill the process, break a
+# drain, or corrupt the content-addressed cache.
+test-chaos:
+	$(GO) test -race -count=1 -tags chaos ./internal/chaos/... ./internal/service/...
 
 vet:
 	$(GO) vet ./...

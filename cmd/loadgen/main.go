@@ -14,6 +14,17 @@
 // p50/p95/p99 instead of being silently forgiven. -conc is ignored in
 // open-loop mode; every in-flight request holds its own goroutine.
 //
+// The generator is failure-aware: a 503 (queue full) is retried with
+// jittered exponential backoff honoring the server's Retry-After hint,
+// and when -max-retries is exhausted the request counts as *shed* —
+// load the server deliberately refused — not as a failure. A 429
+// (admission rejection) sheds immediately: the server has judged the
+// request class too expensive, so retrying the same spec cannot help.
+// Jobs that end in the deadline state count separately, as do jobs the
+// server degraded to a cheaper tier (degraded_from set). Only
+// transport errors and failed/canceled jobs are failures; the exit
+// code is non-zero only when something failed or nothing completed.
+//
 // With no -addr, loadgen self-hosts: it starts an in-process service
 // behind a real HTTP listener and drives that, which is what `make
 // bench-service` uses to produce BENCH_service.json without
@@ -40,11 +51,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,16 +72,19 @@ func main() {
 }
 
 type options struct {
-	addr     string
-	conc     int
-	requests int
-	corpus   string
-	rate     float64
-	poll     time.Duration
-	timeout  time.Duration
-	bench    bool
-	pool     int
-	queue    int
+	addr       string
+	conc       int
+	requests   int
+	corpus     string
+	rate       float64
+	poll       time.Duration
+	timeout    time.Duration
+	bench      bool
+	pool       int
+	queue      int
+	deadlineMS int64
+	unique     bool
+	maxRetries int
 }
 
 func run() int {
@@ -76,13 +92,16 @@ func run() int {
 	flag.StringVar(&o.addr, "addr", "", "mincutd base URL (empty = self-host an in-process service)")
 	flag.IntVar(&o.conc, "conc", 8, "concurrent closed-loop clients")
 	flag.IntVar(&o.requests, "requests", 64, "total requests to issue")
-	flag.StringVar(&o.corpus, "corpus", "quick", "request mix: quick | full")
+	flag.StringVar(&o.corpus, "corpus", "quick", "request mix: quick | full | overload")
 	flag.Float64Var(&o.rate, "rate", 0, "open-loop arrival rate in requests/sec (0 = closed loop)")
 	flag.DurationVar(&o.poll, "poll", 2*time.Millisecond, "job poll interval")
 	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "per-job completion timeout")
 	flag.BoolVar(&o.bench, "bench", false, "emit go-bench-format lines on stdout for benchjson")
 	flag.IntVar(&o.pool, "pool", 0, "self-hosted service pool size (0 = GOMAXPROCS)")
 	flag.IntVar(&o.queue, "queue", 256, "self-hosted service queue depth")
+	flag.Int64Var(&o.deadlineMS, "deadline-ms", 0, "per-job deadline_ms attached to every request (0 = none)")
+	flag.BoolVar(&o.unique, "unique", false, "perturb each request's protocol seed so no submission is a cache hit")
+	flag.IntVar(&o.maxRetries, "max-retries", 10, "503 retries before counting a request as shed")
 	flag.Parse()
 
 	var corpus []service.JobRequest
@@ -91,6 +110,8 @@ func run() int {
 		corpus = harness.ServiceCorpus(true)
 	case "full":
 		corpus = harness.ServiceCorpus(false)
+	case "overload":
+		corpus = harness.OverloadCorpus()
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: unknown corpus %q\n", o.corpus)
 		return 2
@@ -127,6 +148,19 @@ func run() int {
 	return 0
 }
 
+// request builds the i-th request from the corpus, applying the
+// generator-level spec knobs: the per-job deadline and, with -unique,
+// a per-request protocol seed perturbation so every submission misses
+// the content-addressed cache and forces a real protocol run.
+func request(corpus []service.JobRequest, i int, o options) service.JobRequest {
+	req := corpus[i%len(corpus)]
+	req.DeadlineMS = o.deadlineMS
+	if o.unique {
+		req.Seed += int64(i)*1_000_003 + 1
+	}
+	return req
+}
+
 type outcome struct {
 	latencies []time.Duration // sorted ascending by drive
 	mean      time.Duration
@@ -137,19 +171,33 @@ type outcome struct {
 	meanFirst time.Duration
 	completed int
 	failed    int
+	shed      int
+	deadlined int
+	degraded  int
 	hits      int64
 	wall      time.Duration
 	metrics   service.Metrics
+}
+
+// reqResult is one request's measurements: its status (done, shed,
+// deadline, or failed), completion latency, the first-answer latency
+// (when the job first had any result payload — a tiered job's
+// published approximation or any tier's final result), whether the
+// submission was a cache hit, and whether the server degraded it to a
+// cheaper tier.
+type reqResult struct {
+	status   string // "done" | "shed" | "deadline" | "failed"
+	total    time.Duration
+	first    time.Duration
+	hit      bool
+	degraded bool
 }
 
 // drive runs the closed loop and gathers per-request latencies.
 func drive(base string, corpus []service.JobRequest, o options) *outcome {
 	client := &http.Client{Timeout: time.Minute}
 	var next atomic.Int64
-	var hits atomic.Int64
-	lats := make([]time.Duration, o.requests)
-	firsts := make([]time.Duration, o.requests)
-	fails := make([]bool, o.requests)
+	results := make([]reqResult, o.requests)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < o.conc; w++ {
@@ -161,35 +209,71 @@ func drive(base string, corpus []service.JobRequest, o options) *outcome {
 				if i >= o.requests {
 					return
 				}
-				req := corpus[i%len(corpus)]
-				r, err := oneRequest(client, base, req, o)
-				lats[i], firsts[i] = r.total, r.first
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", i, err)
-					fails[i] = true
-					continue
-				}
-				if r.hit {
-					hits.Add(1)
-				}
+				results[i] = oneRequest(client, base, request(corpus, i, o), i, o)
 			}
 		}()
 	}
 	wg.Wait()
-	return gather(base, client, lats, firsts, fails, hits.Load(), time.Since(start), o)
+	return gather(base, client, results, time.Since(start))
+}
+
+// driveOpen runs the open-loop generator: request i is due at
+// start + i/rate, launched on its own goroutine, and its latency runs
+// from that due time to completion — queue wait and generator slip
+// included. Offered load never adapts to service speed, so sustained
+// overload shows up as unbounded tail growth instead of the closed
+// loop's self-throttling.
+func driveOpen(base string, corpus []service.JobRequest, o options) *outcome {
+	client := &http.Client{Timeout: time.Minute}
+	interval := time.Duration(float64(time.Second) / o.rate)
+	results := make([]reqResult, o.requests)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.requests; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, due time.Time) {
+			defer wg.Done()
+			r := oneRequest(client, base, request(corpus, i, o), i, o)
+			// Re-anchor latencies to the scheduled arrival: completion
+			// from the due time, first answer shifted by the same slip.
+			slip := time.Since(due) - r.total
+			r.total += slip
+			r.first += slip
+			results[i] = r
+		}(i, due)
+	}
+	wg.Wait()
+	return gather(base, client, results, time.Since(start))
 }
 
 // gather folds per-request records into the report outcome (shared by
-// the closed- and open-loop drivers).
-func gather(base string, client *http.Client, lats, firsts []time.Duration, fails []bool, hits int64, wall time.Duration, o options) *outcome {
-	res := &outcome{wall: wall, hits: hits}
-	for i := 0; i < o.requests; i++ {
-		if fails[i] {
-			res.failed++
-		} else {
+// the closed- and open-loop drivers). Latency distributions cover only
+// completed requests; shed and deadlined requests are counted, not
+// timed — their latencies measure the policy, not the service.
+func gather(base string, client *http.Client, results []reqResult, wall time.Duration) *outcome {
+	res := &outcome{wall: wall}
+	for _, r := range results {
+		if r.degraded {
+			res.degraded++
+		}
+		switch r.status {
+		case "done":
 			res.completed++
-			res.latencies = append(res.latencies, lats[i])
-			res.firsts = append(res.firsts, firsts[i])
+			res.latencies = append(res.latencies, r.total)
+			res.firsts = append(res.firsts, r.first)
+			if r.hit {
+				res.hits++
+			}
+		case "shed":
+			res.shed++
+		case "deadline":
+			res.deadlined++
+		default:
+			res.failed++
 		}
 	}
 	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
@@ -205,96 +289,85 @@ func gather(base string, client *http.Client, lats, firsts []time.Duration, fail
 		res.mean = sum / time.Duration(res.completed)
 		res.meanFirst = sumFirst / time.Duration(res.completed)
 	}
-	if resp, err := client.Get(base + "/metrics"); err == nil {
+	if resp, err := client.Get(base + "/metrics?format=json"); err == nil {
 		_ = json.NewDecoder(resp.Body).Decode(&res.metrics)
 		resp.Body.Close()
 	}
 	return res
 }
 
-// driveOpen runs the open-loop generator: request i is due at
-// start + i/rate, launched on its own goroutine, and its latency runs
-// from that due time to completion — queue wait and generator slip
-// included. Offered load never adapts to service speed, so sustained
-// overload shows up as unbounded tail growth instead of the closed
-// loop's self-throttling.
-func driveOpen(base string, corpus []service.JobRequest, o options) *outcome {
-	client := &http.Client{Timeout: time.Minute}
-	interval := time.Duration(float64(time.Second) / o.rate)
-	var hits atomic.Int64
-	lats := make([]time.Duration, o.requests)
-	firsts := make([]time.Duration, o.requests)
-	fails := make([]bool, o.requests)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < o.requests; i++ {
-		due := start.Add(time.Duration(i) * interval)
-		if d := time.Until(due); d > 0 {
-			time.Sleep(d)
-		}
-		wg.Add(1)
-		go func(i int, due time.Time) {
-			defer wg.Done()
-			r, err := oneRequest(client, base, corpus[i%len(corpus)], o)
-			lats[i] = time.Since(due)
-			// First-answer latency from the scheduled arrival: the
-			// completion latency minus how long the job kept refining
-			// after its first answer was published.
-			firsts[i] = lats[i] - (r.total - r.first)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", i, err)
-				fails[i] = true
-				return
-			}
-			if r.hit {
-				hits.Add(1)
-			}
-		}(i, due)
+// backoff computes the wait before retry attempt (1-based) of a shed
+// submission: exponential from 5ms doubling per attempt, capped at
+// 500ms, with ±50% jitter to break retry synchronization across
+// workers. A Retry-After hint from the server raises the floor — the
+// server knows its drain rate better than the client does.
+func backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := 5 * time.Millisecond << uint(min(attempt, 7))
+	if d > 500*time.Millisecond {
+		d = 500 * time.Millisecond
 	}
-	wg.Wait()
-	return gather(base, client, lats, firsts, fails, hits.Load(), time.Since(start), o)
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
 }
 
-// reqResult is one request's measurements: completion latency, the
-// first-answer latency (when the job first had any result payload — a
-// tiered job's published approximation or any tier's final result), and
-// whether the submission was a cache hit.
-type reqResult struct {
-	total time.Duration
-	first time.Duration
-	hit   bool
+// retryAfterHint parses a 503/429 response's Retry-After header
+// (delta-seconds form only); zero when absent or malformed.
+func retryAfterHint(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
-// oneRequest submits one job and waits for a terminal state, retrying
-// 503s (queue full) with backoff — in a closed loop that is the
-// signal to slow down, not an error.
-func oneRequest(client *http.Client, base string, req service.JobRequest, o options) (reqResult, error) {
+// oneRequest submits one job and waits for a terminal state. Queue-full
+// 503s back off and retry up to -max-retries before counting as shed;
+// admission 429s shed immediately. Deadline-state jobs and server-side
+// tier degradation are recorded as their own outcomes, not failures.
+func oneRequest(client *http.Client, base string, req service.JobRequest, idx int, o options) reqResult {
 	var r reqResult
+	r.status = "failed"
 	body, err := json.Marshal(req)
 	if err != nil {
-		return r, err
+		fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", idx, err)
+		return r
 	}
 	start := time.Now()
 	var view service.JobView
 	for attempt := 0; ; attempt++ {
 		resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
 		if err != nil {
-			return r, err
+			fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", idx, err)
+			return r
 		}
 		data, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		if resp.StatusCode == http.StatusServiceUnavailable {
-			if time.Since(start) > o.timeout {
-				return r, fmt.Errorf("queue full for %s", o.timeout)
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable:
+			if attempt >= o.maxRetries || time.Since(start) > o.timeout {
+				r.status = "shed"
+				return r
 			}
-			time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
+			time.Sleep(backoff(attempt+1, retryAfterHint(resp)))
 			continue
-		}
-		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-			return r, fmt.Errorf("submit: status %d: %s", resp.StatusCode, data)
+		case http.StatusTooManyRequests:
+			r.status = "shed"
+			return r
+		case http.StatusAccepted, http.StatusOK:
+		default:
+			fmt.Fprintf(os.Stderr, "loadgen: request %d: submit status %d: %s\n", idx, resp.StatusCode, data)
+			return r
 		}
 		if err := json.Unmarshal(data, &view); err != nil {
-			return r, err
+			fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", idx, err)
+			return r
 		}
 		break
 	}
@@ -304,28 +377,44 @@ func oneRequest(client *http.Client, base string, req service.JobRequest, o opti
 		if r.first == 0 && len(view.Approx) > 0 {
 			r.first = time.Since(start) // tiered: the refining-phase answer
 		}
-		if view.State == service.StateFailed || view.State == service.StateCanceled {
-			return r, fmt.Errorf("job %s: %s (%s)", view.ID, view.State, view.Error)
+		if view.DegradedFrom != "" {
+			r.degraded = true
+		}
+		switch view.State {
+		case service.StateDeadline:
+			r.status = "deadline"
+			r.total = time.Since(start)
+			return r
+		case service.StateFailed, service.StateCanceled:
+			fmt.Fprintf(os.Stderr, "loadgen: request %d: job %s: %s (%s)\n", idx, view.ID, view.State, view.Error)
+			return r
 		}
 		if time.Now().After(deadline) {
-			return r, fmt.Errorf("job %s: timeout in state %s", view.ID, view.State)
+			fmt.Fprintf(os.Stderr, "loadgen: request %d: job %s: timeout in state %s\n", idx, view.ID, view.State)
+			return r
 		}
 		time.Sleep(o.poll)
 		resp, err := client.Get(base + "/v1/jobs/" + view.ID)
 		if err != nil {
-			return r, err
+			fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", idx, err)
+			return r
 		}
 		err = json.NewDecoder(resp.Body).Decode(&view)
 		resp.Body.Close()
 		if err != nil {
-			return r, err
+			fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", idx, err)
+			return r
 		}
 	}
+	if view.DegradedFrom != "" {
+		r.degraded = true
+	}
+	r.status = "done"
 	r.total = time.Since(start)
 	if r.first == 0 {
 		r.first = r.total
 	}
-	return r, nil
+	return r
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {
@@ -343,6 +432,8 @@ func report(w io.Writer, res *outcome, o options) {
 		fmt.Fprintf(w, "\nloadgen report (corpus %s, conc %d)\n", o.corpus, o.conc)
 	}
 	fmt.Fprintf(w, "  requests:   %d completed, %d failed in %s\n", res.completed, res.failed, res.wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "  overload:   %d shed, %d deadline, %d degraded to a cheaper tier\n",
+		res.shed, res.deadlined, res.degraded)
 	if o.rate > 0 {
 		fmt.Fprintf(w, "  throughput: %.1f jobs/s completed (offered %.1f req/s)\n",
 			float64(res.completed)/res.wall.Seconds(), o.rate)
@@ -364,6 +455,10 @@ func report(w io.Writer, res *outcome, o options) {
 	m := res.metrics
 	fmt.Fprintf(w, "  server:     hit rate %.2f, %d protocol runs, %.0f rounds/s, %d coalesced\n",
 		m.CacheHitRate, m.Completed, m.RoundsPerSec, m.Coalesced)
+	if m.Shed+m.Deadlined+m.Degraded+m.AdmissionRejected > 0 {
+		fmt.Fprintf(w, "  server ovl: %d shed, %d deadline, %d degraded, %d admission-rejected\n",
+			m.Shed, m.Deadlined, m.Degraded, m.AdmissionRejected)
+	}
 }
 
 // emitBench renders the outcome as one `go test -bench`-style line per

@@ -15,6 +15,18 @@
 //	mincutd [-addr :8371] [-pool 4] [-queue 256] [-cache 4096]
 //	        [-engine-workers 0] [-shards 0] [-checkpayload]
 //	        [-max-nodes 200000] [-max-edges 2000000] [-drain 30s]
+//	        [-default-deadline 0] [-max-job-rounds 0]
+//	        [-admit-ceiling 0] [-admit-downtier]
+//	        [-shed-tiered 0] [-shed-approx 0] [-shed-bracket 0]
+//
+// The last two lines are the overload controls: per-job wall-clock and
+// round budgets (jobs that trip them land in state "deadline" with
+// partial progress and a Retry-After hint), bracket-based admission
+// control (expensive exact/tiered requests get a 429 with a typed cost
+// estimate, or are auto-degraded with -admit-downtier), and graceful
+// tier degradation under queue pressure (exact→tiered→approx→bracket
+// as the queue fills). See docs/ARCHITECTURE.md for how the thresholds
+// compose.
 //
 // Endpoints:
 //
@@ -63,16 +75,27 @@ func run() int {
 	maxEdges := flag.Int("max-edges", 0, "max edges per accepted graph (0 = default)")
 	maxBody := flag.Int64("max-body", 0, "max submit body bytes (0 = default)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	defaultDeadline := flag.Duration("default-deadline", 0, "wall-clock budget applied to jobs without deadline_ms (0 = none)")
+	maxJobRounds := flag.Int("max-job-rounds", 0, "CONGEST round budget per protocol run (0 = unlimited)")
+	admitCeiling := flag.Int64("admit-ceiling", 0, "admission cost ceiling in estimated round-cost units (0 = admit everything)")
+	admitDowntier := flag.Bool("admit-downtier", false, "degrade over-ceiling exact/tiered requests to approx instead of rejecting with 429")
+	shedTiered := flag.Float64("shed-tiered", 0, "queue-pressure fraction above which exact degrades to tiered (0 = off)")
+	shedApprox := flag.Float64("shed-approx", 0, "queue-pressure fraction above which exact/tiered degrade to approx (0 = off)")
+	shedBracket := flag.Float64("shed-bracket", 0, "queue-pressure fraction above which everything degrades to bracket (0 = off)")
 	flag.Parse()
 
 	svc := service.New(service.Options{
-		PoolSize:       *pool,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		Limits:         service.Limits{MaxNodes: *maxNodes, MaxEdges: *maxEdges},
-		EngineWorkers:  *engineWorkers,
-		DeliveryShards: *shards,
-		CheckPayload:   *checkPayload,
+		PoolSize:        *pool,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheEntries,
+		Limits:          service.Limits{MaxNodes: *maxNodes, MaxEdges: *maxEdges},
+		EngineWorkers:   *engineWorkers,
+		DeliveryShards:  *shards,
+		CheckPayload:    *checkPayload,
+		DefaultDeadline: *defaultDeadline,
+		MaxJobRounds:    *maxJobRounds,
+		Admission:       service.AdmissionOptions{CeilingRounds: *admitCeiling, Downtier: *admitDowntier},
+		Degrade:         service.DegradeOptions{TieredAt: *shedTiered, ApproxAt: *shedApprox, BracketAt: *shedBracket},
 	})
 	api := service.NewAPI(svc)
 	api.MaxBody = *maxBody

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"distmincut/internal/congest"
 	"distmincut/internal/graph"
@@ -69,8 +70,18 @@ type Options struct {
 	// Unbounded switches the runtime to unbounded per-edge bandwidth
 	// (LOCAL-model ablation, E9).
 	Unbounded bool
-	// MaxRounds overrides the runtime's safety cap.
+	// MaxRounds overrides the runtime's safety cap. When a run trips
+	// it, the error matches congest.ErrBudgetExceeded (and
+	// congest.ErrMaxRounds) and carries the partial progress.
 	MaxRounds int
+	// Deadline, when non-zero, aborts the runtime at the first round
+	// boundary past this wall-clock instant with an error matching
+	// congest.ErrBudgetExceeded. For the multi-phase entry points the
+	// deadline is absolute: every phase's simulation checks it. The
+	// context-taking entry points also derive it from the context's own
+	// deadline, so a context.WithDeadline context bounds the run even
+	// if this field is zero.
+	Deadline time.Time
 	// Workers bounds how many node programs the runtime executes
 	// concurrently (see congest.Options.Workers). Zero wakes every
 	// scheduled node at once. Results are identical either way.
@@ -153,6 +164,10 @@ type Result struct {
 // becomes the runtime's interrupt channel (nil for contexts that can
 // never be canceled, which keeps the uncancellable path free).
 func (o Options) engineOpts(ctx context.Context) congest.Options {
+	deadline := o.Deadline
+	if cd, ok := ctx.Deadline(); ok && (deadline.IsZero() || cd.Before(deadline)) {
+		deadline = cd
+	}
 	return congest.Options{
 		Seed:           o.Seed,
 		Unbounded:      o.Unbounded,
@@ -160,6 +175,7 @@ func (o Options) engineOpts(ctx context.Context) congest.Options {
 		Workers:        o.Workers,
 		DeliveryShards: o.DeliveryShards,
 		Interrupt:      ctx.Done(),
+		Deadline:       deadline,
 		Progress:       o.Progress,
 		CheckPayload:   o.CheckPayload,
 	}

@@ -1,0 +1,300 @@
+//go:build chaos
+
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distmincut/internal/chaos"
+	"distmincut/internal/service"
+)
+
+// The chaos suite drives panic, stall, and delayed-cancel injections at
+// every fault site and asserts the invariants overload handling must
+// keep: the process never dies (an injected panic fails one job),
+// drains stay clean and bounded, and the content-addressed cache stays
+// consistent (post-fault reruns produce the canonical bytes).
+
+func req(seed int64) service.JobRequest {
+	return service.JobRequest{
+		Graph: service.GraphSpec{Family: "planted", N1: 16, N2: 16, K: 2, InP: 0.5, Seed: seed},
+		Mode:  "exact",
+	}
+}
+
+func bigReq(seed int64) service.JobRequest {
+	return service.JobRequest{
+		Graph: service.GraphSpec{Family: "planted", N1: 128, N2: 128, K: 3, InP: 0.2, Seed: seed},
+		Mode:  "exact",
+	}
+}
+
+// armPanicOnce arms site with a hook that panics exactly once; later
+// injections at the site are no-ops.
+func armPanicOnce(site string) {
+	var once sync.Once
+	chaos.Arm(site, func() {
+		fired := false
+		once.Do(func() { fired = true })
+		if fired {
+			panic("chaos: injected fault at " + site)
+		}
+	})
+}
+
+func waitTerminal(t *testing.T, s *service.Service, id string, timeout time.Duration) service.JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		switch v.State {
+		case service.StateDone, service.StateFailed, service.StateCanceled, service.StateDeadline:
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, v.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func drain(t *testing.T, s *service.Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// cleanResult computes the canonical result bytes for r on a pristine
+// service, for cache-consistency comparisons after injected faults.
+func cleanResult(t *testing.T, r service.JobRequest) []byte {
+	t.Helper()
+	s := service.New(service.Options{PoolSize: 1})
+	defer drain(t, s)
+	v, err := s.Submit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, v.ID, 2*time.Minute)
+	if final.State != service.StateDone {
+		t.Fatalf("clean run ended %s: %s", final.State, final.Error)
+	}
+	return final.Result
+}
+
+func TestPanicAtWorkerExecuteFailsOnlyTheJob(t *testing.T) {
+	defer chaos.Reset()
+	s := service.New(service.Options{PoolSize: 1})
+	defer drain(t, s)
+	armPanicOnce(chaos.SiteWorkerExecute)
+	v, err := s.Submit(req(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, v.ID, 2*time.Minute)
+	if final.State != service.StateFailed || final.Error == "" {
+		t.Fatalf("injected panic: state %s (error %q), want failed", final.State, final.Error)
+	}
+	if chaos.Fired(chaos.SiteWorkerExecute) != 1 {
+		t.Fatalf("fault fired %d times, want 1", chaos.Fired(chaos.SiteWorkerExecute))
+	}
+	// Process alive, worker alive, cache consistent: the same spec now
+	// completes with the canonical bytes.
+	retry, err := s.Submit(req(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := waitTerminal(t, s, retry.ID, 2*time.Minute)
+	if rf.State != service.StateDone {
+		t.Fatalf("retry after panic: %s (%s)", rf.State, rf.Error)
+	}
+	if want := cleanResult(t, req(101)); !bytes.Equal(rf.Result, want) {
+		t.Fatal("post-fault result differs from a clean run")
+	}
+}
+
+func TestPanicAtWorkerFinalizeFailsOnlyTheJob(t *testing.T) {
+	defer chaos.Reset()
+	s := service.New(service.Options{PoolSize: 1})
+	defer drain(t, s)
+	armPanicOnce(chaos.SiteWorkerFinalize)
+	v, err := s.Submit(req(102))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, v.ID, 2*time.Minute)
+	if final.State != service.StateFailed {
+		t.Fatalf("finalize panic: state %s, want failed", final.State)
+	}
+	retry, err := s.Submit(req(102))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf := waitTerminal(t, s, retry.ID, 2*time.Minute); rf.State != service.StateDone {
+		t.Fatalf("retry after finalize panic: %s (%s)", rf.State, rf.Error)
+	}
+}
+
+// A per-round stall slows the engine far below real time; the
+// wall-clock watchdog must still kill the run at a round boundary.
+func TestStallAtEngineRoundStillHitsDeadline(t *testing.T) {
+	defer chaos.Reset()
+	s := service.New(service.Options{PoolSize: 1})
+	defer drain(t, s)
+	chaos.Arm(chaos.SiteEngineRound, func() { time.Sleep(2 * time.Millisecond) })
+	r := req(103)
+	r.DeadlineMS = 150
+	v, err := s.Submit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	final := waitTerminal(t, s, v.ID, 2*time.Minute)
+	if final.State != service.StateDeadline {
+		t.Fatalf("stalled run ended %s, want deadline", final.State)
+	}
+	if took := time.Since(start); took > 30*time.Second {
+		t.Fatalf("deadline enforcement took %v under stall", took)
+	}
+	if chaos.Fired(chaos.SiteEngineRound) == 0 {
+		t.Fatal("stall hook never fired")
+	}
+	chaos.Disarm(chaos.SiteEngineRound)
+	r.DeadlineMS = 0 // same spec (the deadline is not part of the key), no budget
+	retry, err := s.Submit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf := waitTerminal(t, s, retry.ID, 2*time.Minute); rf.State != service.StateDone {
+		t.Fatalf("retry without stall: %s (%s)", rf.State, rf.Error)
+	}
+}
+
+// A delayed cancellation races the run's own completion; both orders
+// must leave a clean terminal state and a drainable service.
+func TestDelayedCancelRacesCompletion(t *testing.T) {
+	defer chaos.Reset()
+	s := service.New(service.Options{PoolSize: 1})
+	defer drain(t, s)
+	chaos.Arm(chaos.SiteCancel, func() { time.Sleep(30 * time.Millisecond) })
+	v, err := s.Submit(bigReq(104))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Cancel(v.ID); !ok {
+		t.Fatal("cancel reported unknown job")
+	}
+	final := waitTerminal(t, s, v.ID, 2*time.Minute)
+	if final.State != service.StateCanceled && final.State != service.StateDone {
+		t.Fatalf("delayed cancel left state %s", final.State)
+	}
+}
+
+// A stalled drain hook must not break the drain: the deadline is
+// enforced against the pool wait, and the service still exits.
+func TestStallAtDrainStaysBounded(t *testing.T) {
+	defer chaos.Reset()
+	s := service.New(service.Options{PoolSize: 1})
+	chaos.Arm(chaos.SiteDrain, func() { time.Sleep(100 * time.Millisecond) })
+	v, err := s.Submit(bigReq(105))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = s.Shutdown(ctx)
+	if took := time.Since(start); took > 30*time.Second {
+		t.Fatalf("stalled drain took %v", took)
+	}
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain error %v", err)
+	}
+	if final, _ := s.Job(v.ID); final.State == service.StateRunning || final.State == service.StateQueued {
+		t.Fatalf("job left non-terminal after drain: %s", final.State)
+	}
+}
+
+// An admission pre-pass fault must fail open: the request is admitted
+// and served, never dropped by the controller that was meant to
+// protect it.
+func TestPanicAtAdmissionFailsOpen(t *testing.T) {
+	defer chaos.Reset()
+	s := service.New(service.Options{
+		PoolSize:  1,
+		Admission: service.AdmissionOptions{CeilingRounds: 1}, // would reject everything
+	})
+	defer drain(t, s)
+	chaos.Arm(chaos.SiteAdmission, func() { panic("chaos: admission fault") })
+	v, err := s.Submit(req(106))
+	if err != nil {
+		t.Fatalf("fault in admission dropped the request: %v", err)
+	}
+	if final := waitTerminal(t, s, v.ID, 2*time.Minute); final.State != service.StateDone {
+		t.Fatalf("admitted job ended %s (%s)", final.State, final.Error)
+	}
+	if m := s.Metrics(); m.AdmissionRejected != 0 {
+		t.Fatalf("rejected = %d after fail-open, want 0", m.AdmissionRejected)
+	}
+}
+
+// Concurrent submitters under injected worker faults: no fault may
+// leak past its job, and every record reaches a typed terminal state.
+func TestConcurrentLoadUnderInjectedFaults(t *testing.T) {
+	defer chaos.Reset()
+	s := service.New(service.Options{PoolSize: 2, QueueDepth: 64})
+	defer drain(t, s)
+	var odd atomic.Int64
+	chaos.Arm(chaos.SiteWorkerExecute, func() {
+		if odd.Add(1)%2 == 1 {
+			panic("chaos: periodic worker fault")
+		}
+	})
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			v, err := s.Submit(req(200 + seed))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			final := waitTerminal(t, s, v.ID, 2*time.Minute)
+			if final.State != service.StateDone && final.State != service.StateFailed {
+				errs <- "unexpected terminal state " + string(final.State)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	chaos.Reset()
+	// Cache consistency after the storm: a previously failed spec
+	// reruns to the canonical bytes.
+	v, err := s.Submit(req(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, v.ID, 2*time.Minute)
+	if final.State != service.StateDone {
+		t.Fatalf("post-storm rerun: %s (%s)", final.State, final.Error)
+	}
+	if want := cleanResult(t, req(200)); !bytes.Equal(final.Result, want) {
+		t.Fatal("post-storm result differs from a clean run")
+	}
+}

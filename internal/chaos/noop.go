@@ -1,0 +1,11 @@
+//go:build !chaos
+
+package chaos
+
+// Enabled reports whether this build carries the fault-injection
+// registry. Without the chaos build tag every Inject call is an empty
+// function the compiler inlines away.
+const Enabled = false
+
+// Inject is a no-op in production builds.
+func Inject(site string) {}

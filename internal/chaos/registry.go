@@ -1,0 +1,61 @@
+//go:build chaos
+
+package chaos
+
+import "sync"
+
+// Enabled reports whether this build carries the fault-injection
+// registry (it does: this file is compiled under the chaos tag).
+const Enabled = true
+
+var (
+	mu    sync.RWMutex
+	hooks = map[string]func(){}
+	fired = map[string]int{}
+)
+
+// Arm installs hook at site: the next Inject(site) calls it (every
+// Inject, until Disarm). Hooks run on the injecting goroutine — a
+// panic propagates exactly as a real fault at that site would.
+func Arm(site string, hook func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks[site] = hook
+}
+
+// Disarm removes the hook at site.
+func Disarm(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(hooks, site)
+}
+
+// Reset disarms every site and clears fire counts.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = map[string]func(){}
+	fired = map[string]int{}
+}
+
+// Fired reports how many times Inject has run a hook at site since the
+// last Reset. Injections at unarmed sites are not counted.
+func Fired(site string) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return fired[site]
+}
+
+// Inject runs the armed hook at site, if any.
+func Inject(site string) {
+	mu.RLock()
+	h := hooks[site]
+	mu.RUnlock()
+	if h == nil {
+		return
+	}
+	mu.Lock()
+	fired[site]++
+	mu.Unlock()
+	h()
+}

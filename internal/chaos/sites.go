@@ -1,0 +1,55 @@
+// Package chaos is the repository's fault-injection seam: named fault
+// points ("sites") compiled into the engine and the service at the
+// places overload and failure handling must hold — worker execution,
+// job finalization, cancellation, drain, admission, and the engine's
+// round boundary. A production build (no build tag) compiles every
+// Inject call to an empty function that the compiler inlines away, so
+// the hot path carries no cost. Builds with `-tags chaos` get a real
+// registry: tests Arm a site with a hook (panic, stall, delayed
+// cancel, ...) and the next Inject at that site runs it.
+//
+// The chaos test suite (this package's tests, build-tagged chaos)
+// drives panic, stall, and delayed-cancellation injections at every
+// site under -race and asserts the process never dies, drains stay
+// clean, and caches stay consistent. CI runs it as
+//
+//	go test -race -tags chaos ./internal/chaos/... ./internal/service/...
+package chaos
+
+// Fault sites. Each names one Inject call; the comments say where it
+// sits and which injections make sense there. Sites inside a recover
+// barrier tolerate panic hooks (the job fails, the process lives);
+// sites outside a barrier are for stalls and delays only.
+const (
+	// SiteEngineRound fires at every engine round boundary, while all
+	// nodes are parked (congest.Engine coordinate loop). Stall hooks
+	// here simulate slow rounds; the wall-clock deadline watchdog must
+	// still kill the run at the next boundary.
+	SiteEngineRound = "engine.round"
+
+	// SiteWorkerExecute fires inside a service worker's panic barrier,
+	// after the context fast-fail and before the graph build. Panic
+	// hooks here must fail the one job, never the process.
+	SiteWorkerExecute = "service.execute"
+
+	// SiteWorkerFinalize fires after the protocol run, still inside the
+	// worker's panic barrier, before job records are finalized. A panic
+	// here fails the job (its result is discarded); a stall delays
+	// finalization past cancels and drains.
+	SiteWorkerFinalize = "service.finalize"
+
+	// SiteCancel fires at the top of Service.Cancel, before the
+	// caller's record detaches. Stall hooks model delayed
+	// cancellations racing the run's own completion.
+	SiteCancel = "service.cancel"
+
+	// SiteDrain fires at the start of Service.Shutdown, after new
+	// submissions are refused. Stall hooks model slow drains; the
+	// drain deadline must still be honored.
+	SiteDrain = "service.drain"
+
+	// SiteAdmission fires inside the admission pre-pass barrier. Panic
+	// hooks here must fail open (the submission is admitted and the
+	// real run reports the real error).
+	SiteAdmission = "service.admission"
+)

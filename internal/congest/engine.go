@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distmincut/internal/chaos"
 	"distmincut/internal/graph"
 )
 
@@ -56,6 +57,14 @@ type Options struct {
 	// partial Stats are returned alongside the error. This is the
 	// mechanism behind the context-cancellable distmincut entry points.
 	Interrupt <-chan struct{}
+	// Deadline, when non-zero, aborts the run with a *BudgetError
+	// (matching ErrBudgetExceeded) at the first round boundary past the
+	// wall-clock instant. Like Interrupt, the check runs while every
+	// node is parked, so the abort is clean: all node goroutines unwind
+	// and the partial Stats are returned alongside the error. Combined
+	// with MaxRounds this is the engine-level watchdog behind service
+	// job deadlines.
+	Deadline time.Time
 	// Progress, when non-nil, is updated at every round boundary with
 	// the current round number and cumulative delivered-message count,
 	// so concurrent observers (e.g. a job-status endpoint) can sample a
@@ -100,8 +109,47 @@ const DefaultMaxRounds = 20_000_000
 // in flight, and no sleep deadline is pending.
 var ErrDeadlock = errors.New("congest: deadlock")
 
-// ErrMaxRounds is returned when the round cap is exceeded.
+// ErrMaxRounds is returned when the round cap is exceeded. Budget
+// aborts surface as *BudgetError; errors.Is(err, ErrMaxRounds) keeps
+// matching when the round cap (not the wall clock) is what tripped.
 var ErrMaxRounds = errors.New("congest: exceeded MaxRounds")
+
+// ErrBudgetExceeded matches any budget abort — round cap or wall-clock
+// deadline. Use errors.As with *BudgetError to see which tripped and
+// how far the run got.
+var ErrBudgetExceeded = errors.New("congest: budget exceeded")
+
+// BudgetError is the abort cause when a run exhausts its round budget
+// (Options.MaxRounds) or wall-clock deadline (Options.Deadline). It
+// carries how far the run got so callers can report partial progress.
+type BudgetError struct {
+	// RoundLimit is the MaxRounds cap when the round budget tripped,
+	// zero when the wall clock did.
+	RoundLimit int
+	// Deadline is the wall-clock deadline when it tripped, zero
+	// otherwise.
+	Deadline time.Time
+	// Rounds and Messages are the simulated round and cumulative
+	// delivered-message count at the abort boundary.
+	Rounds   int
+	Messages int64
+}
+
+func (e *BudgetError) Error() string {
+	if e.RoundLimit > 0 {
+		return fmt.Sprintf("congest: exceeded MaxRounds (%d) at %d messages", e.RoundLimit, e.Messages)
+	}
+	return fmt.Sprintf("congest: deadline exceeded at round %d (%d messages)", e.Rounds, e.Messages)
+}
+
+// Is makes errors.Is(err, ErrBudgetExceeded) match every BudgetError
+// and keeps errors.Is(err, ErrMaxRounds) matching round-cap trips.
+func (e *BudgetError) Is(target error) bool {
+	if target == ErrBudgetExceeded {
+		return true
+	}
+	return target == ErrMaxRounds && e.RoundLimit > 0
+}
 
 // ErrInterrupted is returned when Options.Interrupt fired and the run
 // aborted at a round boundary.
@@ -854,6 +902,10 @@ func (e *Engine) coordinate() error {
 			default:
 			}
 		}
+		chaos.Inject(chaos.SiteEngineRound)
+		if d := e.opts.Deadline; !d.IsZero() && !time.Now().Before(d) {
+			return e.abort(&BudgetError{Deadline: d, Rounds: e.round, Messages: e.delivered})
+		}
 		e.mergeSenders()
 		if done == n && e.senderCount == 0 {
 			return nil
@@ -870,7 +922,7 @@ func (e *Engine) coordinate() error {
 			e.round = e.sleepers[0].at
 		}
 		if e.round > e.opts.MaxRounds {
-			return e.abort(fmt.Errorf("%w (%d)", ErrMaxRounds, e.opts.MaxRounds))
+			return e.abort(&BudgetError{RoundLimit: e.opts.MaxRounds, Rounds: e.round, Messages: e.delivered})
 		}
 		e.deliver()
 		if pg := e.opts.Progress; pg != nil {

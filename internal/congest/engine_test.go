@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"distmincut/internal/graph"
 )
@@ -227,6 +228,87 @@ func TestMaxRoundsAborts(t *testing.T) {
 	})
 	if !errors.Is(err, ErrMaxRounds) {
 		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded match", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if be.RoundLimit != 10 || !be.Deadline.IsZero() {
+		t.Fatalf("BudgetError = %+v, want RoundLimit=10, zero Deadline", be)
+	}
+	if be.Rounds <= 10 {
+		t.Fatalf("BudgetError.Rounds = %d, want > 10", be.Rounds)
+	}
+}
+
+func TestDeadlineAborts(t *testing.T) {
+	g := graph.Path(2)
+	ping := func(nd *Node) {
+		for {
+			if nd.ID() == 0 {
+				nd.Send(0, Message{Kind: kindToken})
+				nd.RecvKindTag(kindToken, 0)
+			} else {
+				nd.RecvKindTag(kindToken, 0)
+				nd.Send(0, Message{Kind: kindToken})
+			}
+		}
+	}
+	deadline := time.Now().Add(20 * time.Millisecond)
+	stats, err := Run(g, Options{Deadline: deadline}, ping)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, must not match ErrMaxRounds on a wall-clock trip", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if !be.Deadline.Equal(deadline) || be.RoundLimit != 0 {
+		t.Fatalf("BudgetError = %+v, want Deadline=%v, RoundLimit=0", be, deadline)
+	}
+	if be.Rounds <= 0 || be.Messages <= 0 {
+		t.Fatalf("BudgetError = %+v, want partial progress recorded", be)
+	}
+	if stats == nil || stats.Rounds != be.Rounds {
+		t.Fatalf("partial stats = %+v, want Rounds=%d", stats, be.Rounds)
+	}
+
+	// An already-expired deadline aborts at the first boundary, and the
+	// engine stays reusable: a warm rerun without the deadline matches a
+	// fresh bounded run.
+	e := NewEngine(Options{Deadline: time.Now().Add(-time.Second)})
+	if _, err := e.Run(g, ping); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("expired deadline: err = %v, want ErrBudgetExceeded", err)
+	}
+	bounded := func(nd *Node) {
+		for i := 0; i < 5; i++ {
+			if nd.ID() == 0 {
+				nd.Send(0, Message{Kind: kindToken})
+				nd.RecvKindTag(kindToken, 0)
+			} else {
+				nd.RecvKindTag(kindToken, 0)
+				nd.Send(0, Message{Kind: kindToken})
+			}
+		}
+	}
+	e.SetOptions(Options{})
+	warm, err := e.Run(g, bounded)
+	if err != nil {
+		t.Fatalf("warm rerun after deadline abort: %v", err)
+	}
+	e.Close()
+	fresh, err := Run(g, Options{}, bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Rounds != fresh.Rounds || warm.Delivered != fresh.Delivered {
+		t.Fatalf("warm stats %+v != fresh %+v after deadline abort", warm, fresh)
 	}
 }
 

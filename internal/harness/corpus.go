@@ -64,3 +64,26 @@ func ServiceCorpus(quick bool) []service.JobRequest {
 		{Graph: service.GraphSpec{Family: "planted", N1: 24, N2: 24, K: 3, InP: 0.4, Seed: 1}, Tier: service.TierTiered, Epsilon: 0.5},
 	}
 }
+
+// OverloadCorpus returns a request mix built to saturate a small
+// worker pool: mostly expensive exact and tiered runs at sizes where
+// the doubling certification dominates, with only a thin stream of
+// cheap bracket probes. Unlike ServiceCorpus it is deliberately
+// cache-hostile across its own length (every entry is a distinct
+// canonical request), so a wrap-around pass still queues real protocol
+// runs — pair it with loadgen's -unique flag to defeat the cache
+// entirely. The CI overload smoke drives this mix at 2× a one-worker
+// pool's sustainable rate and asserts the server sheds, degrades, or
+// deadlines the excess instead of dying.
+func OverloadCorpus() []service.JobRequest {
+	return []service.JobRequest{
+		{Graph: service.GraphSpec{Family: "planted", N1: 32, N2: 32, K: 3, InP: 0.3, Seed: 11}, Mode: "exact"},
+		{Graph: service.GraphSpec{Family: "planted", N1: 40, N2: 24, K: 4, InP: 0.3, Seed: 12}, Mode: "exact"},
+		{Graph: service.GraphSpec{Family: "gnp", N: 96, P: 0.08, Seed: 13}, Mode: "exact"},
+		{Graph: service.GraphSpec{Family: "planted", N1: 32, N2: 32, K: 3, InP: 0.3, Seed: 14}, Tier: service.TierTiered, Epsilon: 0.5},
+		{Graph: service.GraphSpec{Family: "torus", Rows: 10, Cols: 10}, Mode: "exact"},
+		{Graph: service.GraphSpec{Family: "planted", N1: 48, N2: 48, K: 3, InP: 0.25, Seed: 15}, Mode: "exact"},
+		{Graph: service.GraphSpec{Family: "hypercube", Dim: 7}, Tier: service.TierTiered, Epsilon: 0.9},
+		{Graph: service.GraphSpec{Family: "planted", N1: 24, N2: 24, K: 2, InP: 0.4, Seed: 16}, Tier: service.TierBracket},
+	}
+}

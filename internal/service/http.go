@@ -19,7 +19,7 @@ const DefaultMaxBody int64 = 64 << 20
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
 //	GET    /v1/results/{key}  canonical result bytes by content address
 //	GET    /healthz           liveness
-//	GET    /metrics           Metrics snapshot
+//	GET    /metrics           Prometheus text format (?format=json for the JSON snapshot)
 //
 // Submissions whose canonical spec matches an in-flight computation
 // are coalesced onto that execution but still receive their own job
@@ -30,7 +30,13 @@ const DefaultMaxBody int64 = 64 << 20
 // at tier "tiered" pass through the extra state "refining": the view's
 // approx field carries the published (1+ε) result while the exact
 // certified cut is still running, and stays on the view through done,
-// canceled, and drained outcomes.
+// canceled, drained, and deadline outcomes.
+//
+// Overload surfaces as typed submit failures: 503 with a Retry-After
+// header when the queue is full or the service is draining, and 429
+// with a cost_estimate body (see CostEstimate) when admission control
+// rejects an exact/tiered request whose bracketed λ prices the run
+// over the configured ceiling.
 type API struct {
 	svc *Service
 	// MaxBody bounds the submit request body (DefaultMaxBody if 0).
@@ -54,6 +60,13 @@ func (a *API) Handler() http.Handler {
 
 type apiError struct {
 	Error string `json:"error"`
+}
+
+// admissionReject is the 429 body: the error line plus the typed cost
+// estimate that justified the rejection.
+type admissionReject struct {
+	Error        string       `json:"error"`
+	CostEstimate CostEstimate `json:"cost_estimate"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -92,6 +105,17 @@ func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 		return
 	default:
+		var adm *AdmissionError
+		if errors.As(err, &adm) {
+			// The bracket pre-pass is already cached: retrying at the
+			// hinted tier costs the client one cache hit.
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, admissionReject{
+				Error:        err.Error(),
+				CostEstimate: adm.Est,
+			})
+			return
+		}
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		return
 	}
@@ -137,6 +161,13 @@ func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, a.svc.Metrics())
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := a.svc.Metrics()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, m)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = WritePrometheus(w, m)
 }

@@ -250,7 +250,7 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	pollDone(t, ts, view.ID, 2*time.Minute)
 	postJob(t, ts, `{"graph":{"family":"cycle","n":64},"mode":"respect"}`) // cache hit
 
-	mresp, err := http.Get(ts.URL + "/metrics")
+	mresp, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,5 +267,35 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	}
 	if m.CacheHitRate != 0.5 {
 		t.Fatalf("hit rate %v, want 0.5", m.CacheHitRate)
+	}
+
+	// Default format is Prometheus text exposition: the same counters
+	// under their mincutd_* names, typed and help-annotated.
+	presp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	if ct := presp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prometheus content type %q", ct)
+	}
+	body, err := io.ReadAll(presp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE mincutd_jobs_submitted_total counter",
+		"mincutd_jobs_submitted_total 2",
+		"mincutd_cache_hits_total 1",
+		"mincutd_cache_hit_ratio 0.5",
+		"# TYPE mincutd_queue_depth gauge",
+		"mincutd_jobs_deadline_total 0",
+		"mincutd_jobs_shed_total 0",
+		"mincutd_admission_rejected_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus body missing %q:\n%s", want, text)
+		}
 	}
 }

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// promMetric is one exposition line group: name, type, help, value.
+type promMetric struct {
+	name  string
+	typ   string // "gauge" or "counter"
+	help  string
+	value string
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func i64(v int64) string   { return strconv.FormatInt(v, 10) }
+
+// WritePrometheus renders a Metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters keep the conventional
+// _total suffix; the JSON field names remain available verbatim at
+// /metrics?format=json. Every overload outcome is a first-class
+// series: jobs_deadline_total, jobs_degraded_total, jobs_shed_total,
+// and the three admission decision counters.
+func WritePrometheus(w io.Writer, m Metrics) error {
+	ms := []promMetric{
+		{"mincutd_uptime_seconds", "gauge", "Seconds since the service started.", f64(m.UptimeSec)},
+		{"mincutd_pool_size", "gauge", "Worker pool size.", i64(int64(m.PoolSize))},
+		{"mincutd_queue_depth", "gauge", "Jobs accepted but not yet running.", i64(int64(m.QueueDepth))},
+		{"mincutd_queue_capacity", "gauge", "Queue capacity (submissions beyond it are shed).", i64(int64(m.QueueCapacity))},
+		{"mincutd_jobs_running", "gauge", "Executions currently running a protocol.", i64(int64(m.Running))},
+		{"mincutd_jobs_refining", "gauge", "Tiered executions refining past a published approx answer.", i64(int64(m.Refining))},
+		{"mincutd_jobs_submitted_total", "counter", "Accepted submissions (bad specs and shed requests excluded).", i64(m.Submitted)},
+		{"mincutd_jobs_completed_total", "counter", "Executions finished with a result.", i64(m.Completed)},
+		{"mincutd_jobs_failed_total", "counter", "Executions finished with an error.", i64(m.Failed)},
+		{"mincutd_jobs_canceled_total", "counter", "Job records canceled by request or drain.", i64(m.Canceled)},
+		{"mincutd_jobs_deadline_total", "counter", "Job records killed by wall-clock deadline or round budget.", i64(m.Deadlined)},
+		{"mincutd_jobs_degraded_total", "counter", "Submissions served below their requested tier by queue pressure.", i64(m.Degraded)},
+		{"mincutd_jobs_shed_total", "counter", "Submissions turned away on a full queue (HTTP 503).", i64(m.Shed)},
+		{"mincutd_jobs_coalesced_total", "counter", "Submissions coalesced onto an in-flight execution.", i64(m.Coalesced)},
+		{"mincutd_admission_checks_total", "counter", "Bracket pre-passes run (or cache-served) for admission control.", i64(m.AdmissionChecks)},
+		{"mincutd_admission_rejected_total", "counter", "Submissions rejected over the admission ceiling (HTTP 429).", i64(m.AdmissionRejected)},
+		{"mincutd_admission_downtiered_total", "counter", "Over-ceiling submissions served at the approx tier instead.", i64(m.AdmissionDowntiered)},
+		{"mincutd_cache_hits_total", "counter", "Result-cache hits.", i64(m.CacheHits)},
+		{"mincutd_cache_misses_total", "counter", "Result-cache misses.", i64(m.CacheMisses)},
+		{"mincutd_cache_hit_ratio", "gauge", "Cache hits over lookups since start.", f64(m.CacheHitRate)},
+		{"mincutd_cache_entries", "gauge", "Entries resident in the result cache.", i64(int64(m.CacheEntries))},
+		{"mincutd_rounds_total", "counter", "CONGEST rounds simulated by completed executions.", i64(m.RoundsTotal)},
+		{"mincutd_rounds_per_second", "gauge", "Completed rounds over cumulative pool busy time.", f64(m.RoundsPerSec)},
+		{"mincutd_live_rounds", "gauge", "Current round gauges of running executions, summed.", i64(m.LiveRounds)},
+	}
+	var b strings.Builder
+	for _, pm := range ms {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", pm.name, pm.help, pm.name, pm.typ, pm.name, pm.value)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"strconv"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"distmincut"
+	"distmincut/internal/chaos"
 	"distmincut/internal/congest"
 	"distmincut/internal/graph"
 )
@@ -37,6 +39,12 @@ const (
 	StateFailed State = "failed"
 	// StateCanceled: canceled by request or drain deadline (terminal).
 	StateCanceled State = "canceled"
+	// StateDeadline: the job's wall-clock deadline or round budget
+	// expired and the run was killed at an engine round boundary
+	// (terminal). Partial progress (rounds/messages at the abort) stays
+	// on the record, a tiered job keeps its published approximate
+	// payload, and the view carries a Retry-After hint.
+	StateDeadline State = "deadline"
 )
 
 // ErrBusy is returned by Submit when the job queue is full.
@@ -44,6 +52,81 @@ var ErrBusy = errors.New("service: queue full")
 
 // ErrClosed is returned by Submit after Shutdown has begun.
 var ErrClosed = errors.New("service: shutting down")
+
+// CostEstimate is the admission controller's verdict on an exact or
+// tiered submission: the ~100-round bracket pre-pass brackets λ in
+// [LambdaLo, LambdaHi], and EstRounds extrapolates the poly(λ) exact
+// pipeline from the upper bracket. It is the body of an admission
+// rejection (HTTP 429).
+type CostEstimate struct {
+	LambdaLo      int64 `json:"lambda_lo"`
+	LambdaHi      int64 `json:"lambda_hi"`
+	BracketRounds int   `json:"bracket_rounds"`
+	// EstRounds ~ (√n + bracket rounds) · λhi²: τ(λ)=O(λ) trees at
+	// O(√n + D) rounds each, times O(λ) doubling guesses.
+	EstRounds int64 `json:"est_rounds"`
+	// Ceiling is the configured admission ceiling EstRounds exceeded.
+	Ceiling int64 `json:"ceiling"`
+	// HintTier is the tier the client should retry at (always served:
+	// its cost does not grow with λ).
+	HintTier string `json:"hint_tier"`
+}
+
+// AdmissionError is returned by Submit when the admission controller
+// rejects an exact/tiered request whose estimated round cost exceeds
+// the configured ceiling. The HTTP layer renders it as 429 with the
+// CostEstimate as a typed body. The bracket pre-pass that produced the
+// estimate is already cached, so the suggested bracket/approx retry is
+// cheap.
+type AdmissionError struct {
+	Est CostEstimate
+}
+
+// Error renders the rejection with the bracketed λ and the retry hint.
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("service: admission rejected: estimated %d rounds exceeds ceiling %d (λ ∈ [%d, %d]); retry at tier %q",
+		e.Est.EstRounds, e.Est.Ceiling, e.Est.LambdaLo, e.Est.LambdaHi, e.Est.HintTier)
+}
+
+// AdmissionOptions configure cost-based admission control for exact
+// and tiered submissions. Zero CeilingRounds disables admission.
+type AdmissionOptions struct {
+	// CeilingRounds is the estimated-round budget above which an
+	// exact/tiered submission is rejected (or down-tiered). The
+	// estimate is (√n + bracket rounds) · λhi² from a ~100-round
+	// bracket pre-pass whose result is cached under the bracket tier
+	// key, byte-identical to a direct bracket submission.
+	CeilingRounds int64
+	// Downtier, when set, serves over-ceiling submissions at the approx
+	// tier (recorded as JobView.DegradedFrom) instead of rejecting
+	// them.
+	Downtier bool
+}
+
+// DegradeOptions configure queue-pressure load shedding: as queue
+// depth crosses each threshold (a fraction of queue capacity in
+// (0, 1]), new submissions above the named tier are served at that
+// tier instead, stepping exact → tiered → approx → bracket. Zero
+// thresholds are off; the respect tier is never degraded (it is an
+// explicit diagnostics request, not a cost choice).
+type DegradeOptions struct {
+	// TieredAt caps new work at the tiered tier (exact submissions
+	// become tiered) once len(queue)/cap(queue) ≥ TieredAt.
+	TieredAt float64
+	// ApproxAt caps new work at the approx tier.
+	ApproxAt float64
+	// BracketAt caps new work at the bracket tier.
+	BracketAt float64
+}
+
+// tierRank orders the degradable tiers cheapest-first. The respect
+// tier is absent: it is never a degradation source or target.
+var tierRank = map[string]int{
+	TierBracket: 0,
+	TierApprox:  1,
+	TierTiered:  2,
+	TierExact:   3,
+}
 
 // Options configures a Service. The zero value is ready to use.
 type Options struct {
@@ -75,6 +158,21 @@ type Options struct {
 	// CheckPayload enables the runtime's payload-overflow guard on
 	// every run.
 	CheckPayload bool
+	// DefaultDeadline bounds every job whose request carries no
+	// deadline_ms of its own. Zero means no default: only explicit
+	// per-job deadlines apply.
+	DefaultDeadline time.Duration
+	// MaxJobRounds caps the simulated rounds of any single protocol
+	// run (per phase for tiered jobs); a run that trips it is killed at
+	// the round boundary and reported as StateDeadline. Zero applies
+	// only the runtime's own safety cap.
+	MaxJobRounds int
+	// Admission configures cost-based admission control for
+	// exact/tiered submissions (off when zero).
+	Admission AdmissionOptions
+	// Degrade configures queue-pressure tier degradation (off when
+	// zero).
+	Degrade DegradeOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -150,6 +248,13 @@ type job struct {
 	setupNs  int64  // engine setup time of the completed run (0 for cache hits)
 	progress *congest.Progress
 	exec     *exec // nil once terminal (or for cache-hit records)
+	// degradedFrom is the originally requested tier when overload
+	// degraded this submission (queue pressure or admission downtier);
+	// empty when the job runs at its requested tier.
+	degradedFrom string
+	// budget is the job's wall-clock allowance (deadline_ms or the
+	// server default); it sizes the Retry-After hint on a deadline.
+	budget   time.Duration
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -173,6 +278,11 @@ type exec struct {
 	approxKey string
 	exactKey  string
 	approx    []byte
+	// budget/deadlineAt are the first submitter's wall-clock allowance;
+	// coalesced joiners inherit it (one execution, one deadline).
+	// deadlineAt counts from submission, so queue wait spends budget.
+	budget     time.Duration
+	deadlineAt time.Time
 }
 
 // JobView is an immutable snapshot of a job for API responses.
@@ -195,10 +305,20 @@ type JobView struct {
 	Error   string `json:"error,omitempty"`
 	// Approx is the tiered tier's published approximate-phase result:
 	// populated from the moment the job enters state "refining" and
-	// retained through done, canceled, and drained outcomes.
-	Approx    json.RawMessage `json:"approx,omitempty"`
-	Result    json.RawMessage `json:"result,omitempty"`
-	CreatedAt time.Time       `json:"created_at"`
+	// retained through done, canceled, drained, and deadline outcomes.
+	Approx json.RawMessage `json:"approx,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	// DegradedFrom is the originally requested tier when overload made
+	// the service serve this job at a cheaper one (queue-pressure
+	// degradation or admission downtier); Tier is the tier actually
+	// served. Empty when the job ran as requested.
+	DegradedFrom string `json:"degraded_from,omitempty"`
+	// RetryAfterMS, on a deadline outcome, hints how long a client
+	// should wait before resubmitting (2× the job's budget: enough for
+	// the backlog that ate the budget to drain, cheap to recompute
+	// against the warm cache).
+	RetryAfterMS int64     `json:"retry_after_ms,omitempty"`
+	CreatedAt    time.Time `json:"created_at"`
 }
 
 // Metrics is a point-in-time snapshot of service health.
@@ -210,16 +330,29 @@ type Metrics struct {
 	Running       int     `json:"running"`
 	// Refining counts executions that have published an approximate
 	// answer and are still computing the exact one.
-	Refining     int     `json:"refining"`
-	Submitted    int64   `json:"jobs_submitted"`
-	Completed    int64   `json:"jobs_completed"`
-	Failed       int64   `json:"jobs_failed"`
-	Canceled     int64   `json:"jobs_canceled"`
-	Coalesced    int64   `json:"jobs_coalesced"`
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	CacheEntries int     `json:"cache_entries"`
+	Refining  int   `json:"refining"`
+	Submitted int64 `json:"jobs_submitted"`
+	Completed int64 `json:"jobs_completed"`
+	Failed    int64 `json:"jobs_failed"`
+	Canceled  int64 `json:"jobs_canceled"`
+	// Deadlined counts jobs killed by their wall-clock deadline or
+	// round budget; Degraded counts submissions served below their
+	// requested tier by queue pressure; Shed counts submissions turned
+	// away with ErrBusy (503) on a full queue.
+	Deadlined int64 `json:"jobs_deadline"`
+	Degraded  int64 `json:"jobs_degraded"`
+	Shed      int64 `json:"jobs_shed"`
+	// AdmissionChecks counts bracket pre-passes run (or served from
+	// cache) for admission; AdmissionRejected the resulting 429s;
+	// AdmissionDowntiered over-ceiling submissions served at approx.
+	AdmissionChecks     int64   `json:"admission_checks"`
+	AdmissionRejected   int64   `json:"admission_rejected"`
+	AdmissionDowntiered int64   `json:"admission_downtiered"`
+	Coalesced           int64   `json:"jobs_coalesced"`
+	CacheHits           int64   `json:"cache_hits"`
+	CacheMisses         int64   `json:"cache_misses"`
+	CacheHitRate        float64 `json:"cache_hit_rate"`
+	CacheEntries        int     `json:"cache_entries"`
 	// RoundsTotal sums the CONGEST rounds of completed jobs;
 	// RoundsPerSec divides it by the pool's cumulative busy time.
 	// LiveRounds adds the current gauges of running jobs.
@@ -247,14 +380,20 @@ type Service struct {
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 
-	running   atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
-	coalesced atomic.Int64
-	submitted atomic.Int64
-	rounds    atomic.Int64
-	busyNanos atomic.Int64
+	running       atomic.Int64
+	completed     atomic.Int64
+	failed        atomic.Int64
+	canceled      atomic.Int64
+	deadlined     atomic.Int64
+	degraded      atomic.Int64
+	shed          atomic.Int64
+	admChecks     atomic.Int64
+	admRejected   atomic.Int64
+	admDowntiered atomic.Int64
+	coalesced     atomic.Int64
+	submitted     atomic.Int64
+	rounds        atomic.Int64
+	busyNanos     atomic.Int64
 }
 
 // New starts a Service with opts.PoolSize worker goroutines.
@@ -290,45 +429,183 @@ func New(opts Options) *Service {
 // approx-phase bytes ride along when present), and a coalesced tiered
 // submission joining a refining execution receives the already
 // published approximate payload immediately.
+//
+// Under overload three mechanisms trigger before a run is queued,
+// in order: queue-pressure degradation re-tiers the request at the
+// DegradeOptions cap (the cache and in-flight coalescing are retried
+// at the cheaper tier); admission control runs the bracket pre-pass on
+// exact/tiered requests and rejects (AdmissionError, HTTP 429) or
+// down-tiers the ones whose extrapolated poly(λ) cost exceeds the
+// ceiling; a still-full queue sheds the submission with ErrBusy.
 func (s *Service) Submit(req JobRequest) (JobView, error) {
 	canon, key, err := CanonicalRequest(req, s.opts.Limits)
 	if err != nil {
 		return JobView{}, err
 	}
-	tiered := canon.Tier == TierTiered
-	var approxKey, exactKey string
-	if tiered {
-		// Phase keys are derived from the canonical request, so neither
-		// derivation can fail after CanonicalRequest succeeded.
-		if approxKey, err = TierKey(canon, TierApprox, s.opts.Limits); err != nil {
-			return JobView{}, err
-		}
-		if exactKey, err = TierKey(canon, TierExact, s.opts.Limits); err != nil {
-			return JobView{}, err
+	budget := time.Duration(req.DeadlineMS) * time.Millisecond
+	if budget == 0 {
+		budget = s.opts.DefaultDeadline
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobView{}, ErrClosed
+	}
+	if v, ok := s.serveLocked(canon, key, budget, "", true); ok {
+		s.mu.Unlock()
+		return v, nil
+	}
+	degradedFrom := ""
+	if tcap := s.degradeCap(); tcap != "" && tierRank[canon.Tier] > tierRank[tcap] {
+		if c2, k2, err2 := reTier(canon, tcap, s.opts.Limits); err2 == nil {
+			degradedFrom, canon, key = canon.Tier, c2, k2
+			s.degraded.Add(1)
+			if v, ok := s.serveLocked(canon, key, budget, degradedFrom, false); ok {
+				s.mu.Unlock()
+				return v, nil
+			}
 		}
 	}
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		// Deliberately not counted in jobs_submitted: the counter
+		// tracks accepted work only (bad specs and 503s are excluded).
+		s.shed.Add(1)
+		return JobView{}, fmt.Errorf("%w (depth %d)", ErrBusy, cap(s.queue))
+	}
+	s.mu.Unlock()
+
+	// Admission runs without the lock: the bracket pre-pass is a real
+	// (if ~100-round) protocol run on the submitter's goroutine.
+	if s.opts.Admission.CeilingRounds > 0 && (canon.Tier == TierExact || canon.Tier == TierTiered) {
+		if est, ok := s.admitEstimate(canon); ok && est.EstRounds > est.Ceiling {
+			if !s.opts.Admission.Downtier {
+				s.admRejected.Add(1)
+				return JobView{}, &AdmissionError{Est: est}
+			}
+			if c2, k2, err2 := reTier(canon, TierApprox, s.opts.Limits); err2 == nil {
+				if degradedFrom == "" {
+					degradedFrom = canon.Tier
+				}
+				canon, key = c2, k2
+				s.admDowntiered.Add(1)
+			}
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return JobView{}, ErrClosed
 	}
+	// The lock was dropped for admission: the cache or an in-flight
+	// execution may satisfy the (possibly re-tiered) request now.
+	if v, ok := s.serveLocked(canon, key, budget, degradedFrom, false); ok {
+		return v, nil
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.shed.Add(1)
+		return JobView{}, fmt.Errorf("%w (depth %d)", ErrBusy, cap(s.queue))
+	}
+	approxKey, exactKey, err := phaseKeys(canon, s.opts.Limits)
+	if err != nil {
+		return JobView{}, err
+	}
+	s.submitted.Add(1)
+	e := &exec{
+		key: key, req: canon, tier: canon.Tier, state: StateQueued,
+		progress: &congest.Progress{}, approxKey: approxKey, exactKey: exactKey,
+		budget: budget,
+	}
+	if budget > 0 {
+		e.deadlineAt = time.Now().Add(budget)
+	}
+	j := s.newJobLocked(key, canon.Tier)
+	j.state = StateQueued
+	j.progress = e.progress
+	j.exec = e
+	j.budget = budget
+	j.degradedFrom = degradedFrom
+	e.waiters = []*job{j}
+	s.inflight[key] = e
+	s.queue <- e // cannot block: sends only happen under mu with space checked
+	return s.viewLocked(j), nil
+}
+
+// phaseKeys derives the tiered tier's phase cache keys; both empty for
+// other tiers. Neither derivation can fail after CanonicalRequest
+// succeeded on canon.
+func phaseKeys(canon JobRequest, limits Limits) (approxKey, exactKey string, err error) {
+	if canon.Tier != TierTiered {
+		return "", "", nil
+	}
+	if approxKey, err = TierKey(canon, TierApprox, limits); err != nil {
+		return "", "", err
+	}
+	if exactKey, err = TierKey(canon, TierExact, limits); err != nil {
+		return "", "", err
+	}
+	return approxKey, exactKey, nil
+}
+
+// reTier re-canonicalizes an already-canonical request at a cheaper
+// tier (degradation or admission downtier). Tier-specific defaults
+// (epsilon) apply as if the request had been submitted there.
+func reTier(canon JobRequest, tier string, limits Limits) (JobRequest, string, error) {
+	c := canon
+	c.Mode = ""
+	c.Tier = tier
+	return CanonicalRequest(c, limits)
+}
+
+// degradeCap returns the most expensive tier currently served for new
+// work under queue-pressure degradation, or "" when every tier is
+// served (degradation off or pressure below every threshold).
+func (s *Service) degradeCap() string {
+	d := s.opts.Degrade
+	p := float64(len(s.queue)) / float64(cap(s.queue))
+	switch {
+	case d.BracketAt > 0 && p >= d.BracketAt:
+		return TierBracket
+	case d.ApproxAt > 0 && p >= d.ApproxAt:
+		return TierApprox
+	case d.TieredAt > 0 && p >= d.TieredAt:
+		return TierTiered
+	}
+	return ""
+}
+
+// serveLocked tries to satisfy a submission at (canon, key) without a
+// new execution: from the result cache, or by coalescing onto the
+// in-flight execution for the key. count selects whether this lookup
+// moves the cache hit/miss counters — a submission records exactly one
+// cache-effectiveness signal (its first lookup), not one per
+// degradation or admission retry. Caller holds mu.
+func (s *Service) serveLocked(canon JobRequest, key string, budget time.Duration, degradedFrom string, count bool) (JobView, bool) {
+	tiered := canon.Tier == TierTiered
+	approxKey, exactKey, err := phaseKeys(canon, s.opts.Limits)
+	if err != nil {
+		return JobView{}, false
+	}
 	lookup := key
 	if tiered {
 		lookup = exactKey
 	}
-	if data, ok := s.cache.get(lookup, true); ok {
+	if data, ok := s.cache.get(lookup, count); ok {
 		s.submitted.Add(1)
 		j := s.newJobLocked(key, canon.Tier)
 		j.state = StateDone
 		j.cacheHit = true
 		j.result = data
 		j.finished = j.created
+		j.degradedFrom = degradedFrom
 		if tiered {
 			// Uncounted: the submit-path cache signal was the exact key.
 			j.approx, _ = s.cache.get(approxKey, false)
 		}
 		s.retireLocked(j)
-		return s.viewLocked(j), nil
+		return s.viewLocked(j), true
 	}
 	if e, ok := s.inflight[key]; ok {
 		s.submitted.Add(1)
@@ -338,27 +615,73 @@ func (s *Service) Submit(req JobRequest) (JobView, error) {
 		j.approx = e.approx
 		j.progress = e.progress
 		j.exec = e
+		j.budget = e.budget // inherited: one execution, one deadline
+		j.degradedFrom = degradedFrom
 		e.waiters = append(e.waiters, j)
-		return s.viewLocked(j), nil
+		return s.viewLocked(j), true
 	}
-	if len(s.queue) == cap(s.queue) {
-		// Deliberately not counted in jobs_submitted: the counter
-		// tracks accepted work only (bad specs and 503s are excluded).
-		return JobView{}, fmt.Errorf("%w (depth %d)", ErrBusy, cap(s.queue))
+	return JobView{}, false
+}
+
+// admitEstimate prices an exact/tiered submission via the bracket
+// pre-pass: λ ∈ [lo, hi] in ~100 rounds (distmincut.BracketMinCut),
+// with the result cached under the bracket tier key — byte-identical
+// to a direct bracket submission, so pre-passes and bracket traffic
+// share cache entries in both directions. Reports ok=false to admit
+// unconditionally (fail open) when the pre-pass cannot price the
+// request: the real run will surface the real error, and admission
+// must never be the component that takes a healthy request down.
+func (s *Service) admitEstimate(canon JobRequest) (est CostEstimate, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			est, ok = CostEstimate{}, false
+		}
+	}()
+	s.admChecks.Add(1)
+	chaos.Inject(chaos.SiteAdmission)
+	bracketKey, err := TierKey(canon, TierBracket, s.opts.Limits)
+	if err != nil {
+		return CostEstimate{}, false
 	}
-	s.submitted.Add(1)
-	e := &exec{
-		key: key, req: canon, tier: canon.Tier, state: StateQueued,
-		progress: &congest.Progress{}, approxKey: approxKey, exactKey: exactKey,
+	data, hit := s.cache.get(bracketKey, false)
+	if !hit {
+		g, err := Build(canon.Graph)
+		if err != nil {
+			return CostEstimate{}, false
+		}
+		br, err := distmincut.BracketMinCutContext(s.baseCtx, g, &distmincut.Options{
+			Seed:           canon.Seed,
+			Workers:        s.opts.EngineWorkers,
+			DeliveryShards: s.opts.DeliveryShards,
+			CheckPayload:   s.opts.CheckPayload,
+		})
+		if err != nil {
+			return CostEstimate{}, false
+		}
+		if data, err = encodeBracket(bracketKey, g.N(), g.M(), br); err != nil {
+			return CostEstimate{}, false
+		}
+		s.cache.put(bracketKey, data)
 	}
-	j := s.newJobLocked(key, canon.Tier)
-	j.state = StateQueued
-	j.progress = e.progress
-	j.exec = e
-	e.waiters = []*job{j}
-	s.inflight[key] = e
-	s.queue <- e // cannot block: sends only happen under mu with space checked
-	return s.viewLocked(j), nil
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return CostEstimate{}, false
+	}
+	est = CostEstimate{
+		LambdaLo:      r.Lo,
+		LambdaHi:      r.Hi,
+		BracketRounds: r.Rounds,
+		Ceiling:       s.opts.Admission.CeilingRounds,
+		HintTier:      TierApprox,
+	}
+	// (√n + bracket rounds) · λhi², in float64 first so a pathological
+	// bracket cannot overflow the int64 estimate.
+	cost := (math.Sqrt(float64(r.N)) + float64(r.Rounds)) * float64(r.Hi) * float64(r.Hi)
+	if cost > math.MaxInt64/2 {
+		cost = math.MaxInt64 / 2
+	}
+	est.EstRounds = int64(cost)
+	return est, true
 }
 
 // retireLocked marks j finished for retention accounting and drops the
@@ -404,6 +727,7 @@ func (s *Service) Job(id string) (JobView, bool) {
 // worker; running: context-aborted) only when its last waiter
 // detaches.
 func (s *Service) Cancel(id string) (JobView, bool) {
+	chaos.Inject(chaos.SiteCancel)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
@@ -460,12 +784,21 @@ func (s *Service) viewLocked(j *job) JobView {
 	}
 	v.SetupNs = j.setupNs
 	if j.approx != nil {
-		// Published when the job entered refining; survives cancel and
-		// drain so the submitter keeps the fast answer either way.
+		// Published when the job entered refining; survives cancel,
+		// drain, and deadline so the submitter keeps the fast answer
+		// either way.
 		v.Approx = json.RawMessage(j.approx)
 	}
 	if j.state == StateDone {
 		v.Result = json.RawMessage(j.result)
+	}
+	v.DegradedFrom = j.degradedFrom
+	if j.state == StateDeadline {
+		if j.budget > 0 {
+			v.RetryAfterMS = 2 * j.budget.Milliseconds()
+		} else {
+			v.RetryAfterMS = 1000 // round budget without a wall clock: a flat hint
+		}
 	}
 	return v
 }
@@ -474,20 +807,26 @@ func (s *Service) viewLocked(j *job) JobView {
 func (s *Service) Metrics() Metrics {
 	hits, misses, entries := s.cache.stats()
 	m := Metrics{
-		UptimeSec:     time.Since(s.start).Seconds(),
-		PoolSize:      s.opts.PoolSize,
-		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
-		Running:       int(s.running.Load()),
-		Submitted:     s.submitted.Load(),
-		Completed:     s.completed.Load(),
-		Failed:        s.failed.Load(),
-		Canceled:      s.canceled.Load(),
-		Coalesced:     s.coalesced.Load(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheEntries:  entries,
-		RoundsTotal:   s.rounds.Load(),
+		UptimeSec:           time.Since(s.start).Seconds(),
+		PoolSize:            s.opts.PoolSize,
+		QueueDepth:          len(s.queue),
+		QueueCapacity:       cap(s.queue),
+		Running:             int(s.running.Load()),
+		Submitted:           s.submitted.Load(),
+		Completed:           s.completed.Load(),
+		Failed:              s.failed.Load(),
+		Canceled:            s.canceled.Load(),
+		Deadlined:           s.deadlined.Load(),
+		Degraded:            s.degraded.Load(),
+		Shed:                s.shed.Load(),
+		AdmissionChecks:     s.admChecks.Load(),
+		AdmissionRejected:   s.admRejected.Load(),
+		AdmissionDowntiered: s.admDowntiered.Load(),
+		Coalesced:           s.coalesced.Load(),
+		CacheHits:           hits,
+		CacheMisses:         misses,
+		CacheEntries:        entries,
+		RoundsTotal:         s.rounds.Load(),
 	}
 	if total := hits + misses; total > 0 {
 		m.CacheHitRate = float64(hits) / float64(total)
@@ -521,6 +860,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	s.closed = true
 	close(s.queue) // safe: sends happen only under mu with closed checked
 	s.mu.Unlock()
+	chaos.Inject(chaos.SiteDrain)
 
 	done := make(chan struct{})
 	go func() {
@@ -573,7 +913,14 @@ func (s *Service) runExec(eng *congest.Engine, e *exec) {
 		s.mu.Unlock()
 		return
 	}
+	// The deadline context derives from baseCtx, so a drain's cancelAll
+	// still kills a deadline-bearing run: the deadline can only shorten
+	// a job's life, never stall the drain.
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	if !e.deadlineAt.IsZero() {
+		cancel()
+		ctx, cancel = context.WithDeadline(s.baseCtx, e.deadlineAt)
+	}
 	e.state = StateRunning
 	e.cancel = cancel
 	started := time.Now()
@@ -614,7 +961,19 @@ func (s *Service) runExec(eng *congest.Engine, e *exec) {
 			j.exec = nil
 			s.retireLocked(j)
 		}
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, congest.ErrBudgetExceeded):
+		// Wall-clock deadline or round budget: terminal StateDeadline.
+		// The progress gauge and any published approx payload stay on
+		// the records — partial progress is the outcome, not an error.
+		for _, j := range e.waiters {
+			j.state = StateDeadline
+			j.err = err.Error()
+			j.finished = now
+			j.exec = nil
+			s.deadlined.Add(1)
+			s.retireLocked(j)
+		}
+	case errors.Is(err, context.Canceled):
 		for _, j := range e.waiters {
 			j.state = StateCanceled
 			j.err = err.Error()
@@ -647,7 +1006,11 @@ func (s *Service) executeSafe(ctx context.Context, eng *congest.Engine, e *exec)
 			res, setupNs, err = nil, 0, fmt.Errorf("service: job panicked: %v", r)
 		}
 	}()
-	return s.execute(ctx, eng, e)
+	res, setupNs, err = s.execute(ctx, eng, e)
+	// Finalization fault point: still behind this barrier, so an
+	// injected panic here fails the one job, never the process.
+	chaos.Inject(chaos.SiteWorkerFinalize)
+	return res, setupNs, err
 }
 
 // execute builds the graph and runs the requested tier on the worker's
@@ -659,8 +1022,18 @@ func (s *Service) execute(ctx context.Context, eng *congest.Engine, e *exec) ([]
 	// drain budget must not be spent constructing graphs that would
 	// only be canceled at the first round boundary.
 	if err := ctx.Err(); err != nil {
+		// A tiered job killed before it could run — deadline spent in
+		// the queue, or a drain — still publishes its approx phase when
+		// the cache has it: the same fast-answer guarantee a cancel
+		// mid-refinement gives, at zero protocol cost.
+		if e.tier == TierTiered {
+			if approx, ok := s.cache.get(e.approxKey, false); ok {
+				s.publishRefining(e, approx)
+			}
+		}
 		return nil, 0, err
 	}
+	chaos.Inject(chaos.SiteWorkerExecute)
 	g, err := Build(e.req.Graph)
 	if err != nil {
 		return nil, 0, err
@@ -725,6 +1098,8 @@ func (s *Service) runTier(ctx context.Context, eng *congest.Engine, e *exec, g *
 	opts := &distmincut.Options{
 		Seed:           e.req.Seed,
 		Epsilon:        e.req.Epsilon,
+		MaxRounds:      s.opts.MaxJobRounds,
+		Deadline:       e.deadlineAt,
 		Workers:        s.opts.EngineWorkers,
 		DeliveryShards: s.opts.DeliveryShards,
 		Engine:         eng,

@@ -186,6 +186,15 @@ type JobRequest struct {
 	Epsilon float64 `json:"epsilon,omitempty"`
 	// Seed drives the protocol's randomness (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// DeadlineMS bounds the job's wall-clock time in milliseconds,
+	// measured from submission (queue wait included). A job still
+	// unfinished at the deadline is killed at the next engine round
+	// boundary and reported as StateDeadline with its partial progress.
+	// Zero applies the server's default deadline, if one is configured.
+	// Deliberately excluded from the canonical request: the deadline
+	// changes when an answer is abandoned, never which answer is
+	// computed, so it must not split the cache.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // specVersion prefixes the hashed bytes so a format change can never
@@ -245,6 +254,9 @@ func CanonicalRequest(req JobRequest, limits Limits) (JobRequest, string, error)
 	c := JobRequest{Seed: req.Seed}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if req.DeadlineMS < 0 {
+		return c, "", bad("deadline_ms %d is negative", req.DeadlineMS)
 	}
 	tier, err := resolveTier(req)
 	if err != nil {
