@@ -102,7 +102,14 @@ func run() int {
 	flag.Int64Var(&o.deadlineMS, "deadline-ms", 0, "per-job deadline_ms attached to every request (0 = none)")
 	flag.BoolVar(&o.unique, "unique", false, "perturb each request's protocol seed so no submission is a cache hit")
 	flag.IntVar(&o.maxRetries, "max-retries", 10, "503 retries before counting a request as shed")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+
+	if *version {
+		b := service.ReadBuild()
+		fmt.Printf("loadgen %s commit %s %s\n", b.Version, b.Commit, b.GoVersion)
+		return 0
+	}
 
 	var corpus []service.JobRequest
 	switch o.corpus {

@@ -1,0 +1,364 @@
+// Command metricslint validates a Prometheus text exposition (version
+// 0.0.4) read from stdin. CI pipes the live /metrics output of a smoke
+// deployment through it, so a malformed series, a family missing its
+// HELP/TYPE header, or a broken histogram fails the build instead of
+// silently breaking scrapes.
+//
+// Checks:
+//
+//   - every line is well-formed (comment, blank, or `name{labels} value`)
+//   - every sample's family carries both # HELP and # TYPE, and the
+//     headers precede the family's first sample
+//   - no duplicate series (same name and label set)
+//   - every histogram family: le bounds parse and strictly ascend,
+//     bucket counts are cumulative (non-decreasing), the +Inf bucket is
+//     present, _count equals the +Inf bucket, and _sum is present,
+//     per label set
+//
+// Usage:
+//
+//	curl -fs localhost:8371/metrics | go run ./cmd/metricslint
+//
+// Exits 0 and prints a one-line summary on success; exits 1 listing
+// every violation otherwise.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Stdin))
+}
+
+// sample is one parsed series line.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// lint accumulates violations while the exposition streams through.
+type lint struct {
+	errs    []string
+	help    map[string]bool
+	typ     map[string]string
+	sampled map[string]bool // families that have emitted a sample
+	seen    map[string]int  // series identity -> first line
+	samples []sample
+}
+
+func (l *lint) errf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func run(in *os.File) int {
+	l := &lint{
+		help:    make(map[string]bool),
+		typ:     make(map[string]string),
+		sampled: make(map[string]bool),
+		seen:    make(map[string]int),
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	n := 0
+	for sc.Scan() {
+		n++
+		l.scanLine(n, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint: read:", err)
+		return 1
+	}
+	l.checkFamilies()
+	l.checkHistograms()
+	if len(l.errs) > 0 {
+		for _, e := range l.errs {
+			fmt.Fprintln(os.Stderr, "metricslint:", e)
+		}
+		fmt.Fprintf(os.Stderr, "metricslint: %d violation(s) in %d series\n", len(l.errs), len(l.samples))
+		return 1
+	}
+	fmt.Printf("metricslint: ok: %d series, %d families\n", len(l.samples), len(l.typ))
+	return 0
+}
+
+func (l *lint) scanLine(n int, line string) {
+	switch {
+	case strings.TrimSpace(line) == "":
+		return
+	case strings.HasPrefix(line, "# HELP "):
+		rest := strings.TrimPrefix(line, "# HELP ")
+		name, _, _ := strings.Cut(rest, " ")
+		if name == "" {
+			l.errf(n, "HELP with no metric name")
+			return
+		}
+		if l.sampled[name] {
+			l.errf(n, "HELP for %s after its first sample", name)
+		}
+		if l.help[name] {
+			l.errf(n, "duplicate HELP for %s", name)
+		}
+		l.help[name] = true
+	case strings.HasPrefix(line, "# TYPE "):
+		rest := strings.TrimPrefix(line, "# TYPE ")
+		name, typ, ok := strings.Cut(rest, " ")
+		if !ok || name == "" {
+			l.errf(n, "TYPE with no metric name or type")
+			return
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(n, "unknown type %q for %s", typ, name)
+		}
+		if l.sampled[name] {
+			l.errf(n, "TYPE for %s after its first sample", name)
+		}
+		if _, dup := l.typ[name]; dup {
+			l.errf(n, "duplicate TYPE for %s", name)
+		}
+		l.typ[name] = typ
+	case strings.HasPrefix(line, "#"):
+		return // other comments are legal and ignored
+	default:
+		s, err := parseSample(line)
+		if err != nil {
+			l.errf(n, "%v", err)
+			return
+		}
+		s.line = n
+		id := seriesID(s)
+		if first, dup := l.seen[id]; dup {
+			l.errf(n, "duplicate series %s (first at line %d)", id, first)
+		} else {
+			l.seen[id] = n
+		}
+		l.sampled[familyOf(l.typ, s.name)] = true
+		l.samples = append(l.samples, s)
+	}
+}
+
+// familyOf resolves a sample name to its metric family: histogram and
+// summary samples use the base name's headers for their _bucket, _sum,
+// and _count series.
+func familyOf(typ map[string]string, name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if t := typ[base]; t == "histogram" || t == "summary" {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample parses `name{labels} value` (labels optional).
+func parseSample(line string) (sample, error) {
+	s := sample{labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest, s.labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.value = v
+	return s, nil
+}
+
+// parseLabels parses a `{k="v",...}` block starting at in[0] == '{',
+// honoring \" escapes, and reports the index just past the closing '}'.
+func parseLabels(in string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("unterminated label block in %q", in)
+		}
+		key := in[i : i+eq]
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value for %q", key)
+		}
+		i++
+		var val strings.Builder
+		for i < len(in) && in[i] != '"' {
+			if in[i] == '\\' && i+1 < len(in) {
+				i++
+				switch in[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(in[i])
+				}
+			} else {
+				val.WriteByte(in[i])
+			}
+			i++
+		}
+		if i >= len(in) {
+			return 0, fmt.Errorf("unterminated label value for %q", key)
+		}
+		i++ // closing quote
+		out[key] = val.String()
+	}
+}
+
+// seriesID is the sample's identity: name plus sorted label pairs.
+func seriesID(s sample) string {
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// checkFamilies asserts every sampled family carries HELP and TYPE.
+func (l *lint) checkFamilies() {
+	for _, s := range l.samples {
+		fam := familyOf(l.typ, s.name)
+		if !l.help[fam] {
+			l.errf(s.line, "series %s: family %s has no # HELP", s.name, fam)
+		}
+		if _, ok := l.typ[fam]; !ok {
+			l.errf(s.line, "series %s: family %s has no # TYPE", s.name, fam)
+		}
+	}
+}
+
+// histKey groups histogram series by family and labels-minus-le.
+func histKey(fam string, s sample) string {
+	cp := sample{name: fam, labels: map[string]string{}}
+	for k, v := range s.labels {
+		if k != "le" {
+			cp.labels[k] = v
+		}
+	}
+	return seriesID(cp)
+}
+
+// checkHistograms validates bucket structure per histogram label set.
+func (l *lint) checkHistograms() {
+	type group struct {
+		les     []float64
+		counts  []float64
+		lastLn  int
+		count   *float64
+		sumSeen bool
+	}
+	groups := map[string]*group{}
+	order := []string{}
+	for _, s := range l.samples {
+		var fam string
+		var kind string
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(s.name, suf); ok && l.typ[base] == "histogram" {
+				fam, kind = base, suf
+				break
+			}
+		}
+		if fam == "" {
+			if l.typ[s.name] == "histogram" {
+				l.errf(s.line, "bare sample %s for histogram family (want _bucket/_sum/_count)", s.name)
+			}
+			continue
+		}
+		k := histKey(fam, s)
+		g := groups[k]
+		if g == nil {
+			g = &group{}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.lastLn = s.line
+		switch kind {
+		case "_bucket":
+			le, ok := s.labels["le"]
+			if !ok {
+				l.errf(s.line, "%s bucket without le label", fam)
+				continue
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				var err error
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					l.errf(s.line, "%s: unparseable le %q", fam, le)
+					continue
+				}
+			}
+			g.les = append(g.les, bound)
+			g.counts = append(g.counts, s.value)
+		case "_sum":
+			g.sumSeen = true
+		case "_count":
+			v := s.value
+			g.count = &v
+		}
+	}
+	for _, k := range order {
+		g := groups[k]
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				l.errf(g.lastLn, "%s: le bounds not strictly ascending (%g after %g)", k, g.les[i], g.les[i-1])
+			}
+			if g.counts[i] < g.counts[i-1] {
+				l.errf(g.lastLn, "%s: bucket counts not cumulative (%g after %g)", k, g.counts[i], g.counts[i-1])
+			}
+		}
+		if len(g.les) == 0 || !math.IsInf(g.les[len(g.les)-1], 1) {
+			l.errf(g.lastLn, "%s: missing +Inf bucket", k)
+			continue
+		}
+		if g.count == nil {
+			l.errf(g.lastLn, "%s: missing _count", k)
+		} else if inf := g.counts[len(g.counts)-1]; *g.count != inf {
+			l.errf(g.lastLn, "%s: _count %g != +Inf bucket %g", k, *g.count, inf)
+		}
+		if !g.sumSeen {
+			l.errf(g.lastLn, "%s: missing _sum", k)
+		}
+	}
+}

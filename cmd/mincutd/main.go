@@ -18,30 +18,40 @@
 //	        [-default-deadline 0] [-max-job-rounds 0]
 //	        [-admit-ceiling 0] [-admit-downtier]
 //	        [-shed-tiered 0] [-shed-approx 0] [-shed-bracket 0]
+//	        [-log-level info] [-flight 64] [-pprof ""] [-version]
 //
-// The last two lines are the overload controls: per-job wall-clock and
-// round budgets (jobs that trip them land in state "deadline" with
-// partial progress and a Retry-After hint), bracket-based admission
-// control (expensive exact/tiered requests get a 429 with a typed cost
-// estimate, or are auto-degraded with -admit-downtier), and graceful
-// tier degradation under queue pressure (exact→tiered→approx→bracket
-// as the queue fills). See docs/ARCHITECTURE.md for how the thresholds
-// compose.
+// The overload controls: per-job wall-clock and round budgets (jobs
+// that trip them land in state "deadline" with partial progress and a
+// Retry-After hint), bracket-based admission control (expensive
+// exact/tiered requests get a 429 with a typed cost estimate, or are
+// auto-degraded with -admit-downtier), and graceful tier degradation
+// under queue pressure (exact→tiered→approx→bracket as the queue
+// fills). See docs/ARCHITECTURE.md for how the thresholds compose.
+//
+// Observability (see docs/OBSERVABILITY.md): structured logs go to
+// stderr at -log-level; every job keeps an event timeline served as
+// Chrome trace-event JSON at /v1/jobs/{id}/trace; -flight sizes the
+// per-run flight recorder whose round tail lands in the traces of
+// deadline-killed jobs; -pprof exposes net/http/pprof on a separate
+// listener, kept off the service port so profiling is never reachable
+// through the public API.
 //
 // Endpoints:
 //
-//	POST   /v1/jobs           submit a job (generator spec or edge list)
-//	GET    /v1/jobs/{id}      poll state, progress, result
-//	DELETE /v1/jobs/{id}      cancel
-//	GET    /v1/results/{key}  fetch a result by content address
-//	GET    /healthz           liveness
-//	GET    /metrics           queue depth, cache hit rate, rounds/sec
+//	POST   /v1/jobs             submit a job (generator spec or edge list)
+//	GET    /v1/jobs/{id}        poll state, progress, result
+//	GET    /v1/jobs/{id}/trace  job timeline as Chrome trace-event JSON
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/results/{key}    fetch a result by content address
+//	GET    /healthz             liveness plus build identity
+//	GET    /metrics             queue depth, cache hit rate, latency histograms
 //
 // Example session:
 //
 //	curl -s localhost:8371/v1/jobs -d \
 //	  '{"graph":{"family":"planted","n1":24,"n2":24,"k":3,"in_p":0.4,"seed":7}}'
 //	curl -s localhost:8371/v1/jobs/j1
+//	curl -s localhost:8371/v1/jobs/j1/trace
 //	curl -s localhost:8371/metrics
 package main
 
@@ -50,7 +60,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +73,28 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+// parseLevel maps the -log-level flag to a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", s)
+	}
+	return l, nil
+}
+
+// pprofHandler builds the net/http/pprof route table by hand: the
+// side listener must expose exactly the profiling routes, not whatever
+// else is registered on http.DefaultServeMux.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func run() int {
@@ -82,7 +116,23 @@ func run() int {
 	shedTiered := flag.Float64("shed-tiered", 0, "queue-pressure fraction above which exact degrades to tiered (0 = off)")
 	shedApprox := flag.Float64("shed-approx", 0, "queue-pressure fraction above which exact/tiered degrade to approx (0 = off)")
 	shedBracket := flag.Float64("shed-bracket", 0, "queue-pressure fraction above which everything degrades to bracket (0 = off)")
+	logLevel := flag.String("log-level", "info", "stderr log level: debug, info, warn, or error")
+	flight := flag.Int("flight", 0, "flight-recorder ring size in rounds (0 = default 64, negative = off)")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this side address (empty = off)")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+
+	if *version {
+		b := service.ReadBuild()
+		fmt.Printf("mincutd %s commit %s %s\n", b.Version, b.Commit, b.GoVersion)
+		return 0
+	}
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mincutd:", err)
+		return 2
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	svc := service.New(service.Options{
 		PoolSize:        *pool,
@@ -96,6 +146,8 @@ func run() int {
 		MaxJobRounds:    *maxJobRounds,
 		Admission:       service.AdmissionOptions{CeilingRounds: *admitCeiling, Downtier: *admitDowntier},
 		Degrade:         service.DegradeOptions{TieredAt: *shedTiered, ApproxAt: *shedApprox, BracketAt: *shedBracket},
+		Logger:          logger,
+		FlightRounds:    *flight,
 	})
 	api := service.NewAPI(svc)
 	api.MaxBody = *maxBody
@@ -105,31 +157,45 @@ func run() int {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *pprofAddr != "" {
+		pprofServer := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pprofHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "mincutd: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		fmt.Fprintln(os.Stderr, "mincutd:", err)
+		logger.Error("server failed", "err", err)
 		return 1
 	case sig := <-sigCh:
-		fmt.Fprintf(os.Stderr, "mincutd: %v, draining (budget %s)\n", sig, *drain)
+		logger.Info("signal received, draining", "signal", sig.String(), "budget", *drain)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	_ = server.Shutdown(ctx)
 	if err := svc.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "mincutd: drain incomplete, running jobs canceled:", err)
+		logger.Warn("drain incomplete, running jobs canceled", "err", err)
 		return 1
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "mincutd:", err)
+		logger.Error("server failed", "err", err)
 		return 1
 	}
-	fmt.Fprintln(os.Stderr, "mincutd: drained cleanly")
+	logger.Info("drained cleanly")
 	return 0
 }

@@ -21,8 +21,8 @@ import (
 //
 // Phase targets are derived from a reference run's marks: packing
 // emits begin:/end: marks for every mst and respect span from node 0,
-// BFS is everything before the first mark, and certification is
-// everything after the last.
+// BFS is everything before the first mark, and the certification tail
+// has its own begin:certify/end:certify span.
 func TestCancelAtEachPhaseBoundary(t *testing.T) {
 	g := graph.PlantedCut(48, 48, 3, 0.4, 5)
 	opts := func() *Options { return &Options{Seed: 2} }
@@ -35,7 +35,8 @@ func TestCancelAtEachPhaseBoundary(t *testing.T) {
 	if len(marks) == 0 {
 		t.Fatal("reference run recorded no phase marks")
 	}
-	var firstMST, endFirstMST, laterMST, firstRespect, endRespect, lastMark int
+	var firstMST, endFirstMST, laterMST, firstRespect, endRespect int
+	var beginCertify, endCertify int
 	for _, m := range marks {
 		switch m.Label {
 		case "begin:mst":
@@ -55,10 +56,13 @@ func TestCancelAtEachPhaseBoundary(t *testing.T) {
 				firstRespect = m.Round
 			}
 		case "end:respect":
-			endRespect = m.Round
-		}
-		if m.Round > lastMark {
-			lastMark = m.Round
+			if beginCertify == 0 {
+				endRespect = m.Round
+			}
+		case "begin:certify":
+			beginCertify = m.Round
+		case "end:certify":
+			endCertify = m.Round
 		}
 	}
 	phases := []struct {
@@ -69,7 +73,7 @@ func TestCancelAtEachPhaseBoundary(t *testing.T) {
 		{"mst", (firstMST + endFirstMST) / 2},
 		{"packing", laterMST},
 		{"respect", (firstRespect + endRespect) / 2},
-		{"certification", (lastMark + ref.Rounds) / 2},
+		{"certification", (beginCertify + endCertify) / 2},
 	}
 
 	eng := congest.NewEngine(congest.Options{})

@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -111,6 +112,13 @@ type Options struct {
 	// loudly instead of corrupting the protocol. See
 	// congest.Options.CheckPayload.
 	CheckPayload bool
+	// Observer, when non-nil, receives one congest.RoundRecord per
+	// simulated round at the runtime's round barrier — per-round message
+	// and wake counts plus wall-clock delivery timings. Arm a
+	// congest.FlightRecorder here to keep a post-mortem tail of the last
+	// rounds across deadline or budget aborts. Nil (the default) costs
+	// nothing. See congest.Options.Observer.
+	Observer congest.Observer
 }
 
 func (o *Options) withDefaults() Options {
@@ -178,6 +186,7 @@ func (o Options) engineOpts(ctx context.Context) congest.Options {
 		Deadline:       deadline,
 		Progress:       o.Progress,
 		CheckPayload:   o.CheckPayload,
+		Observer:       o.Observer,
 	}
 }
 
@@ -453,6 +462,7 @@ func BracketMinCutContext(ctx context.Context, g *graph.Graph, opts *Options) (*
 // level schedule in lockstep.
 func approxProgram(nd *congest.Node, bfs *proto.Overlay, g *graph.Graph, kappa int64, o Options, col *collector) {
 	const levelSpan = uint32(80_000_000)
+	mark := nd.ID() == 0 // node 0 records the level spans for observability
 	weightAt := func(level int) func(p int) int64 {
 		if level == 0 {
 			return nil
@@ -462,11 +472,32 @@ func approxProgram(nd *congest.Node, bfs *proto.Overlay, g *graph.Graph, kappa i
 			return sampling.SampleWeight(o.Seed, mst.PackUV(e.U, e.V), level, e.W)
 		}
 	}
+	// packLevel packs one sampling level under its own span, so the
+	// trace attributes the descent's cost level by level.
+	packLevel := func(level int, tagBase uint32) *packing.Result {
+		if mark {
+			nd.Mark("begin:level:" + strconv.Itoa(level))
+		}
+		loads := make(map[int]int64, nd.Degree())
+		cur := packing.Pack(nd, bfs, o.ApproxTauMax, loads,
+			packing.Options{Weight: weightAt(level), StopBelow: kappa, SizeCap: o.SizeCap},
+			tagBase, nil)
+		if mark {
+			nd.Mark("end:level:" + strconv.Itoa(level))
+		}
+		return cur
+	}
 
 	// Level 0: try the exact algorithm capped at κ. If λ <= κ this is
 	// already the exact answer.
+	if mark {
+		nd.Mark("begin:level:0")
+	}
 	res, exact := packing.ExactDoubling(nd, bfs, o.TauPolicy, kappa,
 		packing.Options{SizeCap: o.SizeCap}, 1000)
+	if mark {
+		nd.Mark("end:level:0")
+	}
 	level, trees := 0, res.Trees
 	if !exact {
 		// Descend: jump to the level where the observed cut would land
@@ -479,11 +510,7 @@ func approxProgram(nd *congest.Node, bfs *proto.Overlay, g *graph.Graph, kappa i
 				jump++
 			}
 			level = prevLevel + jump
-			tagBase := uint32(level) * levelSpan
-			loads := make(map[int]int64, nd.Degree())
-			cur := packing.Pack(nd, bfs, o.ApproxTauMax, loads,
-				packing.Options{Weight: weightAt(level), StopBelow: kappa, SizeCap: o.SizeCap},
-				tagBase, nil)
+			cur := packLevel(level, uint32(level)*levelSpan)
 			trees += cur.Trees
 			if !cur.Connected {
 				// Oversampled: retreat one level and accept it.
@@ -493,11 +520,7 @@ func approxProgram(nd *congest.Node, bfs *proto.Overlay, g *graph.Graph, kappa i
 					level = prevLevel
 					break
 				}
-				tagBase = uint32(level)*levelSpan + levelSpan/2
-				loads = make(map[int]int64, nd.Degree())
-				cur = packing.Pack(nd, bfs, o.ApproxTauMax, loads,
-					packing.Options{Weight: weightAt(level), StopBelow: kappa, SizeCap: o.SizeCap},
-					tagBase, nil)
+				cur = packLevel(level, uint32(level)*levelSpan+levelSpan/2)
 				trees += cur.Trees
 				if !cur.Connected {
 					res = prev

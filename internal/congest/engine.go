@@ -78,6 +78,15 @@ type Options struct {
 	// near the int64 range almost always means a packing overflowed.
 	// Off by default (it adds a branch to the Send fast path).
 	CheckPayload bool
+	// Observer, when non-nil, receives one RoundRecord per simulated
+	// round at the round barrier (see Observer and RoundRecord). The
+	// record carries the round's delivered-message count, the next wake
+	// set's size, the cumulative dirty-node count, and wall-clock
+	// delivery timings (total and per shard). When Observer is nil —
+	// the default — the engine skips all timing work and the round
+	// barrier pays exactly one nil check: the disabled path adds no
+	// allocations and no clock reads.
+	Observer Observer
 }
 
 // normalize fills Options defaults. DeliveryShards resolves its
@@ -230,6 +239,20 @@ type Engine struct {
 	// Stats.SetupNanos.
 	setupNanos int64
 
+	// Observer support (all dead weight when opts.Observer is nil).
+	// runStart anchors Mark.Nanos and RoundRecord.Nanos to Run entry;
+	// timing caches the observer-enabled decision so the delivery path
+	// reads one bool instead of an interface; obsDelivered is the
+	// cumulative delivered count at the previous observed round (for
+	// per-round deltas); deliverNs and shardNs are the last round's
+	// delivery timings (shardNs is the scratch RoundRecord.ShardNanos
+	// aliases).
+	runStart     time.Time
+	timing       bool
+	obsDelivered int64
+	deliverNs    int64
+	shardNs      []int64
+
 	// revPort[portOff[u]+p] is the port index at the peer for port p of
 	// node u, precomputed flat so delivery is O(1) per message with no
 	// per-node slice headers.
@@ -335,6 +358,11 @@ type deliveryShard struct {
 	// list this shard evaluates, and the wake sublist it produces.
 	lo, hi int
 	wake   []*Node
+
+	// nanos is the shard's self-measured delivery wall time for the
+	// current round; written only when the engine's observer timing is
+	// armed.
+	nanos int64
 
 	taskCh chan shardTask // nil in serial mode (phases run inline)
 }
@@ -495,6 +523,7 @@ func Run(g *graph.Graph, opts Options, program func(*Node)) (*Stats, error) {
 // that share it.
 func (e *Engine) Run(g *graph.Graph, program func(*Node)) (*Stats, error) {
 	start := time.Now()
+	e.runStart = start
 	e.setupRun(g, program)
 	e.setupNanos = time.Since(start).Nanoseconds()
 	err := e.coordinate()
@@ -529,6 +558,9 @@ func (e *Engine) setupRun(g *graph.Graph, program func(*Node)) {
 	e.aborted.Store(false)
 	e.runGen++
 	e.marks = nil
+	e.timing = e.opts.Observer != nil
+	e.obsDelivered = 0
+	e.deliverNs = 0
 	e.notified = e.notified[:0]
 	e.receivers = e.receivers[:0]
 	e.newCount.Store(0)
@@ -727,23 +759,39 @@ func (e *Engine) resetDirtyQueues() {
 	e.dirtyNodes = e.dirtyNodes[:0]
 }
 
-// collectAndReset assembles the run's Stats and, in the same walk,
-// resets the per-node fields the run mutated (phase, sent counter,
-// match closure, panic value, hint) so the next warm Run's setup does
-// not need its own O(n) pass. Called after every node goroutine has
-// exited.
+// collectAndReset assembles the run's Stats and resets the sent
+// counters the run mutated. The walk is proportional to traffic, not
+// graph size: only dirty nodes (those that sent at least once) carry a
+// sent count, and undelivered leftovers can only sit in receive queues
+// a dirty sender fed — each (sender, port) pair feeds exactly one
+// per-port FIFO at its peer, so summing over the dirty nodes' fed
+// queues counts every leftover exactly once. The other per-node run
+// state needs no teardown pass at all: phase and match are cleared at
+// the node's next spawn (see activate), a consumed hint always resets
+// itself, and panics force a full reinitialization. Called after every
+// node goroutine has exited.
 func (e *Engine) collectAndReset() *Stats {
+	// An abort between round barriers can leave senders registered but
+	// not yet merged into the dirty list; fold them in so their sent
+	// counts are included (and reset) like everyone else's.
+	if k := int(e.newCount.Swap(0)); k > 0 {
+		for _, nd := range e.newSenders[:k] {
+			if !nd.everDirty {
+				nd.everDirty = true
+				e.dirtyNodes = append(e.dirtyNodes, nd)
+			}
+		}
+	}
 	var sent, leftover int64
-	for _, nd := range e.nodes {
+	ports := len(e.revPort)
+	for _, nd := range e.dirtyNodes {
 		sent += nd.sent
 		nd.sent = 0
-		for p := range nd.inQ {
-			leftover += int64(nd.inQ[p].n)
+		off := int(e.portOff[nd.id])
+		for p := range nd.adj {
+			po := int(e.portOff[nd.adj[p].Peer]) + int(e.revPort[off+p])
+			leftover += int64(e.qSlab[ports+po].n)
 		}
-		nd.phase = phaseIdle
-		nd.match = nil
-		nd.panicVal = nil
-		nd.hintPort = -1
 	}
 	return &Stats{
 		Rounds:     e.round,
@@ -751,6 +799,7 @@ func (e *Engine) collectAndReset() *Stats {
 		Delivered:  e.delivered,
 		Wakeups:    e.wakeups,
 		Leftover:   leftover,
+		DirtyNodes: len(e.dirtyNodes),
 		Marks:      e.marks,
 		SetupNanos: e.setupNanos,
 	}
@@ -826,12 +875,18 @@ func (e *Engine) notifyPark(nd *Node) {
 	}
 }
 
-// activate runs one activation of nd: the first ever spawns the node's
-// goroutine (the lazy start), later ones send a wake permit to its
-// parked goroutine.
+// activate runs one activation of nd: the first of a run spawns the
+// node's goroutine (the lazy start), later ones send a wake permit to
+// its parked goroutine. The spawn decision compares the node's spawn
+// generation to the engine's run counter, so per-node run state left
+// behind by a previous clean run (phase, a pinned match closure) is
+// cleared here, at the node's first activation, instead of by an O(n)
+// teardown pass.
 func (e *Engine) activate(nd *Node) {
-	if nd.phase == phaseIdle {
+	if nd.spawnGen != e.runGen {
+		nd.spawnGen = e.runGen
 		nd.phase = phaseRunning
+		nd.match = nil
 		e.termWG.Add(1)
 		go e.runNode(nd)
 		return
@@ -924,14 +979,45 @@ func (e *Engine) coordinate() error {
 		if e.round > e.opts.MaxRounds {
 			return e.abort(&BudgetError{RoundLimit: e.opts.MaxRounds, Rounds: e.round, Messages: e.delivered})
 		}
-		e.deliver()
+		if e.timing {
+			t0 := time.Now()
+			e.deliver()
+			e.deliverNs = time.Since(t0).Nanoseconds()
+		} else {
+			e.deliver()
+		}
 		if pg := e.opts.Progress; pg != nil {
 			pg.round.Store(int64(e.round))
 			pg.delivered.Store(e.delivered)
 		}
 		e.buildWakeSet()
 		e.wakeups += int64(len(e.wake))
+		if e.opts.Observer != nil {
+			e.observeRound()
+		}
 	}
+}
+
+// observeRound assembles and delivers the round barrier's RoundRecord
+// (see Options.Observer). Out of line so the round loop stays small;
+// only reached when an observer is set.
+func (e *Engine) observeRound() {
+	e.shardNs = e.shardNs[:0]
+	for _, sh := range e.shards {
+		e.shardNs = append(e.shardNs, sh.nanos)
+	}
+	rec := RoundRecord{
+		Round:          e.round,
+		Delivered:      e.delivered - e.obsDelivered,
+		TotalDelivered: e.delivered,
+		Woken:          len(e.wake),
+		DirtyNodes:     len(e.dirtyNodes),
+		Nanos:          time.Since(e.runStart).Nanoseconds(),
+		DeliveryNanos:  e.deliverNs,
+		ShardNanos:     e.shardNs,
+	}
+	e.obsDelivered = e.delivered
+	e.opts.Observer.ObserveRound(rec)
 }
 
 // mergeSenders distributes nodes registered during the last activations
@@ -1111,6 +1197,10 @@ func (sh *deliveryShard) loop(tasks <-chan shardTask) {
 // and multi-message rounds move whole ring spans with bulk copies.
 func (sh *deliveryShard) deliver() {
 	e := sh.eng
+	var t0 time.Time
+	if e.timing {
+		t0 = time.Now()
+	}
 	unbounded := e.opts.Unbounded
 	// Hot-path locals: the peer's inQ ring is addressed straight through
 	// the flat port tables and the segregated queue slab (the receive
@@ -1170,6 +1260,9 @@ func (sh *deliveryShard) deliver() {
 		}
 	}
 	sh.senders = kept
+	if e.timing {
+		sh.nanos = time.Since(t0).Nanoseconds()
+	}
 }
 
 // match evaluates the Recv predicates of the [lo, hi) chunk of the
@@ -1300,7 +1393,13 @@ func (e *Engine) deadlockError(done int) error {
 func (e *Engine) mark(label string, id graph.NodeID) {
 	e.marksMu.Lock()
 	defer e.marksMu.Unlock()
-	e.marks = append(e.marks, Mark{Label: label, Round: e.round, Node: id})
+	e.marks = append(e.marks, Mark{
+		Label:     label,
+		Round:     e.round,
+		Node:      id,
+		Delivered: e.delivered,
+		Nanos:     time.Since(e.runStart).Nanoseconds(),
+	})
 }
 
 // sleepEntry and sleepHeap implement the sleeper priority queue.

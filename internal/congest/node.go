@@ -33,6 +33,13 @@ type Node struct {
 	// stay bit-identical to fresh ones without an O(n) reseed pass.
 	rngGen uint32
 
+	// spawnGen is the engine run this node's goroutine was last spawned
+	// for: activate spawns when it trails the engine's run counter and
+	// wakes otherwise. Generation-numbering the spawn decision (instead
+	// of resetting every node's phase between runs) is what lets a warm
+	// engine's teardown walk only the dirty nodes.
+	spawnGen uint32
+
 	outQ []queue // staged sends, one FIFO per port; head transmitted each round
 	inQ  []queue // received but not yet consumed, one FIFO per port
 

@@ -24,11 +24,20 @@ func (p *Progress) Round() int { return int(p.round.Load()) }
 func (p *Progress) Delivered() int64 { return p.delivered.Load() }
 
 // Mark is a named round timestamp recorded by a node program, used by
-// the experiment harness to attribute rounds to pipeline phases.
+// the experiment harness and the span parser in package distmincut to
+// attribute rounds, messages, and wall time to pipeline phases.
 type Mark struct {
 	Label string
 	Round int
 	Node  graph.NodeID
+	// Delivered is the run's cumulative delivered-message count when
+	// the mark was recorded; the delta between an end: and begin: mark
+	// is the phase's message cost.
+	Delivered int64
+	// Nanos is wall time in nanoseconds from Run entry (engine setup
+	// included) to the mark. Unlike the round and message fields it is
+	// a clock reading, not part of the deterministic accounting.
+	Nanos int64
 }
 
 // Stats summarizes one simulation run.
@@ -48,6 +57,10 @@ type Stats struct {
 	// Protocols in this repository are expected to drain their traffic;
 	// tests assert Leftover == 0.
 	Leftover int64
+	// DirtyNodes counts the nodes that sent at least one message — the
+	// size of the dirty set that bounds the warm engine's per-run
+	// teardown and queue-reset walks.
+	DirtyNodes int
 	// Marks are the phase timestamps recorded via Node.Mark.
 	Marks []Mark
 	// SetupNanos is the wall time this run spent in per-run engine

@@ -98,9 +98,25 @@ func RunWeighted(nd *congest.Node, bfs *proto.Overlay, loads map[int]int64, weig
 	if r.cap < 1 {
 		r.cap = SizeCap(nd.N())
 	}
+	mark := nd.ID() == 0 // node 0 records the part spans for observability
+	if mark {
+		nd.Mark("begin:mst:part1")
+	}
 	st := r.part1()
+	if mark {
+		nd.Mark("end:mst:part1")
+		nd.Mark("begin:mst:part2")
+	}
 	inter := r.part2(st)
-	return r.root(st, inter)
+	if mark {
+		nd.Mark("end:mst:part2")
+		nd.Mark("begin:mst:root")
+	}
+	res := r.root(st, inter)
+	if mark {
+		nd.Mark("end:mst:root")
+	}
+	return res
 }
 
 // TagSpan is the tag range reserved by one Run invocation.

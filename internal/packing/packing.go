@@ -174,6 +174,7 @@ func ExactDoubling(nd *congest.Node, bfs *proto.Overlay, tauOf func(lambda int64
 	loads := make(map[int]int64, nd.Degree())
 	res := &Result{Cut: math.MaxInt64, CutNode: -1, TreeIndex: -1, Connected: true}
 	tag := tagBase
+	mark := nd.ID() == 0 // node 0 records the guess/certify spans for observability
 	for lambda := int64(1); ; lambda *= 2 {
 		target := tauOf(lambda, nd.N())
 		if extra := target - res.Trees; extra > 0 {
@@ -181,7 +182,13 @@ func ExactDoubling(nd *congest.Node, bfs *proto.Overlay, tauOf func(lambda int64
 			if guess.StopBelow <= 0 || lambda < guess.StopBelow {
 				guess.StopBelow = lambda
 			}
+			if mark {
+				nd.Mark("begin:pack")
+			}
 			res = Pack(nd, bfs, extra, loads, guess, tag, res)
+			if mark {
+				nd.Mark("end:pack")
+			}
 			tag += uint32(extra) * TreeTagSpan
 			if !res.Connected {
 				return res, false
@@ -190,12 +197,23 @@ func ExactDoubling(nd *congest.Node, bfs *proto.Overlay, tauOf func(lambda int64
 		// Top up after an early stop: certification needs tauOf(bestCut)
 		// trees. One tree per step — the best cut can keep dropping while
 		// topping up, which shrinks the requirement.
+		certifying := false
 		for res.Cut <= lambda && res.Trees < tauOf(res.Cut, nd.N()) {
+			if mark && !certifying {
+				nd.Mark("begin:certify")
+			}
+			certifying = true
 			res = Pack(nd, bfs, 1, loads, opts, tag, res)
 			tag += TreeTagSpan
 			if !res.Connected {
+				if mark && certifying {
+					nd.Mark("end:certify")
+				}
 				return res, false
 			}
+		}
+		if mark && certifying {
+			nd.Mark("end:certify")
 		}
 		if res.Cut <= lambda {
 			return res, true
@@ -216,6 +234,10 @@ const (
 // F(v*) — O(√n) items — and each node decides membership locally from
 // its snapshotted ancestors. Tags tag, tag+1 are used.
 func MarkSide(nd *congest.Node, bfs *proto.Overlay, res *Result, tag uint32) bool {
+	mark := nd.ID() == 0 // node 0 records the phase span for observability
+	if mark {
+		nd.Mark("begin:markside")
+	}
 	var mine []proto.Item
 	if nd.ID() == res.CutNode {
 		mine = append(mine, proto.Item{A: 0, B: res.BestInput.FragID})
@@ -224,6 +246,9 @@ func MarkSide(nd *congest.Node, bfs *proto.Overlay, res *Result, tag uint32) boo
 		}
 	}
 	items := proto.AllGather(nd, bfs, tag, mine)
+	if mark {
+		nd.Mark("end:markside") // the remaining side decision is local, zero rounds
+	}
 	var starFrag int64 = -1
 	starSet := make(map[int64]bool, len(items))
 	for _, it := range items {
@@ -250,6 +275,10 @@ func MarkSide(nd *congest.Node, bfs *proto.Overlay, res *Result, tag uint32) boo
 // the underlying graph, of the cut defined by each node's side bit: one
 // neighbor exchange plus one global sum. Tags tag..tag+2 are used.
 func EvaluateCut(nd *congest.Node, bfs *proto.Overlay, inSide bool, tag uint32) int64 {
+	mark := nd.ID() == 0 // node 0 records the phase span for observability
+	if mark {
+		nd.Mark("begin:evalcut")
+	}
 	bit := int64(0)
 	if inSide {
 		bit = 1
@@ -263,5 +292,9 @@ func EvaluateCut(nd *congest.Node, bfs *proto.Overlay, inSide bool, tag uint32) 
 		}
 	}
 	// Each crossing edge is counted at both endpoints.
-	return proto.ConvergeBroadcast(nd, bfs, tag+1, crossing, proto.Sum) / 2
+	total := proto.ConvergeBroadcast(nd, bfs, tag+1, crossing, proto.Sum) / 2
+	if mark {
+		nd.Mark("end:evalcut")
+	}
+	return total
 }

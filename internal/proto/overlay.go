@@ -68,6 +68,10 @@ func NewOverlay(parentPort int, childPorts []int, depth int) *Overlay {
 // port (hence lowest neighbor ID, by sorted adjacency). Exactly one
 // message is consumed per incident edge, so no traffic is left over.
 func BuildBFS(nd *congest.Node, root graph.NodeID, tag uint32) *Overlay {
+	mark := nd.ID() == root // the root records the phase span for observability
+	if mark {
+		nd.Mark("begin:bfs")
+	}
 	ov := &Overlay{ParentPort: -1}
 	responded := make([]bool, nd.Degree()) // ports we already answered/sent on
 	if nd.ID() == root {
@@ -132,6 +136,9 @@ func BuildBFS(nd *congest.Node, root graph.NodeID, tag uint32) *Overlay {
 		}
 	}
 	sort.Ints(ov.ChildPorts)
+	if mark {
+		nd.Mark("end:bfs")
+	}
 	return ov
 }
 

@@ -2,6 +2,7 @@ package sampling
 
 import (
 	"math"
+	"strconv"
 
 	"distmincut/internal/congest"
 	"distmincut/internal/proto"
@@ -93,9 +94,14 @@ func Bracket(nd *congest.Node, bfs *proto.Overlay, cfg BracketConfig, tagBase ui
 		cfg.ChunkRounds = 8
 	}
 
+	mark := nd.ID() == 0 // node 0 records the phase spans for observability
+
 	// Certified upper bound: the cheapest singleton cut. Two
 	// convergecasts — the minimum weighted degree, then the lowest node
 	// ID attaining it.
+	if mark {
+		nd.Mark("begin:mindeg")
+	}
 	var deg int64
 	for p := 0; p < nd.Degree(); p++ {
 		deg += nd.EdgeWeight(p)
@@ -106,6 +112,9 @@ func Bracket(nd *congest.Node, bfs *proto.Overlay, cfg BracketConfig, tagBase ui
 		cand = int64(nd.ID())
 	}
 	minNode := proto.ConvergeBroadcast(nd, bfs, tagBase+2, cand, proto.Min)
+	if mark {
+		nd.Mark("end:mindeg")
+	}
 
 	maxLevel := cfg.MaxLevel
 	if maxLevel <= 0 {
@@ -120,8 +129,10 @@ func Bracket(nd *congest.Node, bfs *proto.Overlay, cfg BracketConfig, tagBase ui
 
 	out := BracketOutcome{MinDegree: minDeg, MinDegreeNode: minNode, Trials: cfg.Trials}
 	keep := make([]bool, nd.Degree())
-levels:
 	for level := 1; level <= maxLevel; level++ {
+		if mark {
+			nd.Mark("begin:bracket:" + strconv.Itoa(level))
+		}
 		for trial := 0; trial < cfg.Trials; trial++ {
 			seed := TrialSeed(cfg.Seed, trial)
 			for p := range keep {
@@ -130,8 +141,14 @@ levels:
 			tag := tagBase + 4 + 4*uint32((level-1)*cfg.Trials+trial)
 			if !sampledConnected(nd, bfs, keep, cfg.ChunkRounds, tag) {
 				out.Level = level
-				break levels
+				break
 			}
+		}
+		if mark {
+			nd.Mark("end:bracket:" + strconv.Itoa(level))
+		}
+		if out.Level != 0 {
+			break
 		}
 	}
 

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: module version, VCS commit,
+// and Go toolchain. It appears in /healthz, in the -version output of
+// the commands, and as the mincutd_build_info metric, so a scrape or a
+// health probe always says exactly what is deployed.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for a plain
+	// `go build` outside a tagged module download).
+	Version string `json:"version"`
+	// Commit is the VCS revision the binary was built from, shortened
+	// to 12 hex digits, with a "+dirty" suffix when the working tree
+	// had local modifications. "unknown" when the build carried no VCS
+	// stamp (e.g. `go test` binaries).
+	Commit string `json:"commit"`
+	// GoVersion is the Go toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+var buildOnce = sync.OnceValue(func() BuildInfo {
+	b := BuildInfo{Version: "(devel)", Commit: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if bi.Main.Version != "" {
+		b.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		b.GoVersion = bi.GoVersion
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		b.Commit = rev
+	}
+	return b
+})
+
+// ReadBuild reports the binary's build identity via
+// debug.ReadBuildInfo. The result is computed once and cached; it never
+// fails (missing build info degrades to "unknown"/"(devel)" fields).
+func ReadBuild() BuildInfo { return buildOnce() }

@@ -14,12 +14,13 @@ const DefaultMaxBody int64 = 64 << 20
 // API wraps a Service with its HTTP/JSON surface. See docs/API.md for
 // the full reference with examples.
 //
-//	POST   /v1/jobs           submit a JobRequest
-//	GET    /v1/jobs/{id}      job state, progress, result when done
-//	DELETE /v1/jobs/{id}      cancel a queued or running job
-//	GET    /v1/results/{key}  canonical result bytes by content address
-//	GET    /healthz           liveness
-//	GET    /metrics           Prometheus text format (?format=json for the JSON snapshot)
+//	POST   /v1/jobs             submit a JobRequest
+//	GET    /v1/jobs/{id}        job state, progress, result when done
+//	GET    /v1/jobs/{id}/trace  the job's timeline as Chrome trace-event JSON
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/results/{key}    canonical result bytes by content address
+//	GET    /healthz             liveness plus build identity
+//	GET    /metrics             Prometheus text format (?format=json for the JSON snapshot)
 //
 // Submissions whose canonical spec matches an in-flight computation
 // are coalesced onto that execution but still receive their own job
@@ -51,6 +52,7 @@ func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", a.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", a.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleCancel)
 	mux.HandleFunc("GET /v1/results/{key}", a.handleResult)
 	mux.HandleFunc("GET /healthz", a.handleHealth)
@@ -157,8 +159,25 @@ func (a *API) handleResult(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
+func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
+	data, ok := a.svc.Trace(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
 func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	b := ReadBuild()
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  "ok",
+		"version": b.Version,
+		"commit":  b.Commit,
+		"go":      b.GoVersion,
+	})
 }
 
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -55,6 +56,73 @@ func WritePrometheus(w io.Writer, m Metrics) error {
 	for _, pm := range ms {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", pm.name, pm.help, pm.name, pm.typ, pm.name, pm.value)
 	}
+	writeBuildInfo(&b, m.Build)
+	writePhaseCounters(&b, "mincutd_phase_rounds_total",
+		"CONGEST rounds spent per protocol phase group across completed runs.", m.PhaseRounds)
+	writePhaseCounters(&b, "mincutd_phase_messages_total",
+		"Messages delivered per protocol phase group across completed runs.", m.PhaseMessages)
+	writeHistograms(&b, m.TierLatency)
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// writeBuildInfo renders the conventional build-identity gauge: a
+// constant 1 whose labels carry the version, commit, and toolchain.
+func writeBuildInfo(b *strings.Builder, bi BuildInfo) {
+	const name = "mincutd_build_info"
+	fmt.Fprintf(b, "# HELP %s Build identity of the running binary (constant 1).\n# TYPE %s gauge\n", name, name)
+	fmt.Fprintf(b, "%s{version=%q,commit=%q,goversion=%q} 1\n",
+		name, escapeLabel(bi.Version), escapeLabel(bi.Commit), escapeLabel(bi.GoVersion))
+}
+
+// writePhaseCounters renders one phase-labeled counter family in
+// sorted label order (the exposition format forbids interleaving
+// families, and sorted keys keep scrapes diffable).
+func writePhaseCounters(b *strings.Builder, name, help string, vals map[string]int64) {
+	if len(vals) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s{phase=%q} %s\n", name, escapeLabel(k), i64(vals[k]))
+	}
+}
+
+// writeHistograms renders the per-tier job-latency histogram family:
+// cumulative le-labeled buckets (with the mandatory +Inf), _sum and
+// _count per tier, tiers in sorted order.
+func writeHistograms(b *strings.Builder, tiers map[string]HistogramSnapshot) {
+	if len(tiers) == 0 {
+		return
+	}
+	const name = "mincutd_job_duration_seconds"
+	fmt.Fprintf(b, "# HELP %s Job latency from submission to done, per serving tier (cache hits included).\n# TYPE %s histogram\n", name, name)
+	keys := make([]string, 0, len(tiers))
+	for k := range tiers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, tier := range keys {
+		h := tiers[tier]
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(b, "%s_bucket{tier=%q,le=%q} %s\n", name, escapeLabel(tier), f64(bound), i64(cum))
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(b, "%s_bucket{tier=%q,le=\"+Inf\"} %s\n", name, escapeLabel(tier), i64(cum))
+		fmt.Fprintf(b, "%s_sum{tier=%q} %s\n", name, escapeLabel(tier), f64(h.SumSeconds))
+		fmt.Fprintf(b, "%s_count{tier=%q} %s\n", name, escapeLabel(tier), i64(h.Count))
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"strconv"
@@ -173,6 +174,15 @@ type Options struct {
 	// Degrade configures queue-pressure tier degradation (off when
 	// zero).
 	Degrade DegradeOptions
+	// Logger receives the service's structured log events (admission,
+	// degradation, shedding, job outcomes, drain). Nil discards them.
+	Logger *slog.Logger
+	// FlightRounds sizes the per-execution flight recorder: the ring of
+	// last-K round records appended to a job's trace when a deadline or
+	// round budget kills the run. Zero takes
+	// congest.DefaultFlightRounds; negative disables the recorder (runs
+	// observe nothing, traces of aborted jobs carry no round tail).
+	FlightRounds int
 }
 
 func (o Options) withDefaults() Options {
@@ -258,6 +268,12 @@ type job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// trace is the job's event timeline (see traceEvent), served by
+	// Service.Trace. Job-local events (queued, degraded, terminal state,
+	// flight-recorder tail) live here; while the job is attached to an
+	// execution the shared execution's events are appended at snapshot
+	// time, and at finalization they are merged in permanently.
+	trace []traceEvent
 }
 
 // exec is one protocol execution, shared by every job record coalesced
@@ -283,6 +299,16 @@ type exec struct {
 	// deadlineAt counts from submission, so queue wait spends budget.
 	budget     time.Duration
 	deadlineAt time.Time
+	// trace is the execution's shared event timeline (started, build,
+	// per-tier runs with their phase spans, refining); guarded by the
+	// service mutex like the rest of the record.
+	trace []traceEvent
+	// recorder is the execution's flight recorder (nil when disabled);
+	// runStart anchors its round records — and the run's phase spans —
+	// to the wall clock. Both are touched only by the worker goroutine
+	// that owns the execution.
+	recorder *congest.FlightRecorder
+	runStart time.Time
 }
 
 // JobView is an immutable snapshot of a job for API responses.
@@ -359,6 +385,19 @@ type Metrics struct {
 	RoundsTotal  int64   `json:"rounds_total"`
 	RoundsPerSec float64 `json:"rounds_per_sec"`
 	LiveRounds   int64   `json:"live_rounds"`
+	// Build identifies the running binary (version, commit, toolchain).
+	Build BuildInfo `json:"build"`
+	// PhaseRounds and PhaseMessages aggregate completed runs' leaf
+	// phase spans by phase group (bfs, mst, respect, pack, certify,
+	// level, bracket, ...): CONGEST rounds and delivered messages spent
+	// in each protocol phase since the service started.
+	PhaseRounds   map[string]int64 `json:"phase_rounds,omitempty"`
+	PhaseMessages map[string]int64 `json:"phase_messages,omitempty"`
+	// TierLatency holds one job-latency histogram per serving tier,
+	// observed at every job that reaches state done (cache hits
+	// included, which is what puts mass in the sub-millisecond
+	// buckets).
+	TierLatency map[string]HistogramSnapshot `json:"tier_latency,omitempty"`
 }
 
 // Service is the concurrent min-cut job runner. Create with New,
@@ -368,13 +407,17 @@ type Service struct {
 	cache *cache
 	queue chan *exec
 	start time.Time
+	log   *slog.Logger
+	durs  map[string]*histogram // per-tier job latency, keyed by tier
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	inflight map[string]*exec // canonical key -> queued/running execution
-	retired  []string         // finished job IDs, oldest first, bounded by JobRetention
-	closed   bool
-	nextID   int64
+	mu            sync.Mutex
+	jobs          map[string]*job
+	inflight      map[string]*exec // canonical key -> queued/running execution
+	retired       []string         // finished job IDs, oldest first, bounded by JobRetention
+	phaseRounds   map[string]int64 // per phase group, completed runs only
+	phaseMessages map[string]int64
+	closed        bool
+	nextID        int64
 
 	wg        sync.WaitGroup
 	baseCtx   context.Context
@@ -400,16 +443,29 @@ type Service struct {
 func New(opts Options) *Service {
 	o := opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Service{
-		opts:      o,
-		cache:     newCache(o.CacheEntries),
-		queue:     make(chan *exec, o.QueueDepth),
-		start:     time.Now(),
-		jobs:      make(map[string]*job),
-		inflight:  make(map[string]*exec),
-		baseCtx:   ctx,
-		cancelAll: cancel,
+	logger := o.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
+	s := &Service{
+		opts:          o,
+		cache:         newCache(o.CacheEntries),
+		queue:         make(chan *exec, o.QueueDepth),
+		start:         time.Now(),
+		log:           logger,
+		durs:          make(map[string]*histogram, 5),
+		jobs:          make(map[string]*job),
+		inflight:      make(map[string]*exec),
+		phaseRounds:   make(map[string]int64),
+		phaseMessages: make(map[string]int64),
+		baseCtx:       ctx,
+		cancelAll:     cancel,
+	}
+	for _, tier := range []string{TierBracket, TierApprox, TierExact, TierRespect, TierTiered} {
+		s.durs[tier] = newHistogram()
+	}
+	s.log.Info("service started", "pool_size", o.PoolSize, "queue_depth", o.QueueDepth,
+		"version", ReadBuild().Version, "commit", ReadBuild().Commit)
 	s.wg.Add(o.PoolSize)
 	for i := 0; i < o.PoolSize; i++ {
 		go s.worker()
@@ -461,6 +517,8 @@ func (s *Service) Submit(req JobRequest) (JobView, error) {
 		if c2, k2, err2 := reTier(canon, tcap, s.opts.Limits); err2 == nil {
 			degradedFrom, canon, key = canon.Tier, c2, k2
 			s.degraded.Add(1)
+			s.log.Info("degraded submission", "from", degradedFrom, "to", canon.Tier,
+				"queue_depth", len(s.queue), "queue_capacity", cap(s.queue))
 			if v, ok := s.serveLocked(canon, key, budget, degradedFrom, false); ok {
 				s.mu.Unlock()
 				return v, nil
@@ -472,6 +530,7 @@ func (s *Service) Submit(req JobRequest) (JobView, error) {
 		// Deliberately not counted in jobs_submitted: the counter
 		// tracks accepted work only (bad specs and 503s are excluded).
 		s.shed.Add(1)
+		s.log.Warn("shed submission: queue full", "tier", canon.Tier, "depth", cap(s.queue))
 		return JobView{}, fmt.Errorf("%w (depth %d)", ErrBusy, cap(s.queue))
 	}
 	s.mu.Unlock()
@@ -482,6 +541,9 @@ func (s *Service) Submit(req JobRequest) (JobView, error) {
 		if est, ok := s.admitEstimate(canon); ok && est.EstRounds > est.Ceiling {
 			if !s.opts.Admission.Downtier {
 				s.admRejected.Add(1)
+				s.log.Warn("admission rejected", "tier", canon.Tier,
+					"est_rounds", est.EstRounds, "ceiling", est.Ceiling,
+					"lambda_lo", est.LambdaLo, "lambda_hi", est.LambdaHi)
 				return JobView{}, &AdmissionError{Est: est}
 			}
 			if c2, k2, err2 := reTier(canon, TierApprox, s.opts.Limits); err2 == nil {
@@ -490,6 +552,8 @@ func (s *Service) Submit(req JobRequest) (JobView, error) {
 				}
 				canon, key = c2, k2
 				s.admDowntiered.Add(1)
+				s.log.Info("admission downtiered", "to", TierApprox,
+					"est_rounds", est.EstRounds, "ceiling", est.Ceiling)
 			}
 		}
 	}
@@ -526,7 +590,7 @@ func (s *Service) Submit(req JobRequest) (JobView, error) {
 	j.progress = e.progress
 	j.exec = e
 	j.budget = budget
-	j.degradedFrom = degradedFrom
+	markDegraded(j, degradedFrom)
 	e.waiters = []*job{j}
 	s.inflight[key] = e
 	s.queue <- e // cannot block: sends only happen under mu with space checked
@@ -599,11 +663,16 @@ func (s *Service) serveLocked(canon JobRequest, key string, budget time.Duration
 		j.cacheHit = true
 		j.result = data
 		j.finished = j.created
-		j.degradedFrom = degradedFrom
+		markDegraded(j, degradedFrom)
 		if tiered {
 			// Uncounted: the submit-path cache signal was the exact key.
 			j.approx, _ = s.cache.get(approxKey, false)
 		}
+		j.trace = append(j.trace, traceEvent{
+			name: "done", cat: "lifecycle", at: j.finished,
+			args: map[string]any{"cache_hit": true},
+		})
+		s.durs[canon.Tier].observe(0) // a cache hit is a zero-latency done
 		s.retireLocked(j)
 		return s.viewLocked(j), true
 	}
@@ -616,7 +685,11 @@ func (s *Service) serveLocked(canon JobRequest, key string, budget time.Duration
 		j.progress = e.progress
 		j.exec = e
 		j.budget = e.budget // inherited: one execution, one deadline
-		j.degradedFrom = degradedFrom
+		markDegraded(j, degradedFrom)
+		j.trace = append(j.trace, traceEvent{
+			name: "coalesced", cat: "lifecycle", at: time.Now(),
+			args: map[string]any{"key": key},
+		})
 		e.waiters = append(e.waiters, j)
 		return s.viewLocked(j), true
 	}
@@ -704,8 +777,26 @@ func (s *Service) newJobLocked(key, tier string) *job {
 		tier:    tier,
 		created: time.Now(),
 	}
+	j.trace = append(j.trace, traceEvent{
+		name: "queued", cat: "lifecycle", at: j.created,
+		args: map[string]any{"tier": tier, "key": key},
+	})
 	s.jobs[j.id] = j
 	return j
+}
+
+// markDegraded records a degradation (queue pressure or admission
+// downtier) on the job record and its timeline. No-op for an empty
+// source tier. Caller holds mu.
+func markDegraded(j *job, from string) {
+	if from == "" {
+		return
+	}
+	j.degradedFrom = from
+	j.trace = append(j.trace, traceEvent{
+		name: "degraded", cat: "lifecycle", at: time.Now(),
+		args: map[string]any{"from": from, "to": j.tier},
+	})
 }
 
 // Job returns a snapshot of the job with the given ID.
@@ -827,6 +918,11 @@ func (s *Service) Metrics() Metrics {
 		CacheMisses:         misses,
 		CacheEntries:        entries,
 		RoundsTotal:         s.rounds.Load(),
+		Build:               ReadBuild(),
+		TierLatency:         make(map[string]HistogramSnapshot, len(s.durs)),
+	}
+	for tier, h := range s.durs {
+		m.TierLatency[tier] = h.snapshot()
 	}
 	if total := hits + misses; total > 0 {
 		m.CacheHitRate = float64(hits) / float64(total)
@@ -841,6 +937,16 @@ func (s *Service) Metrics() Metrics {
 		}
 		if e.state == StateRefining {
 			m.Refining++
+		}
+	}
+	if len(s.phaseRounds) > 0 {
+		m.PhaseRounds = make(map[string]int64, len(s.phaseRounds))
+		m.PhaseMessages = make(map[string]int64, len(s.phaseMessages))
+		for k, v := range s.phaseRounds {
+			m.PhaseRounds[k] = v
+		}
+		for k, v := range s.phaseMessages {
+			m.PhaseMessages[k] = v
 		}
 	}
 	s.mu.Unlock()
@@ -860,6 +966,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	s.closed = true
 	close(s.queue) // safe: sends happen only under mu with closed checked
 	s.mu.Unlock()
+	s.log.Info("draining", "running", s.running.Load())
 	chaos.Inject(chaos.SiteDrain)
 
 	done := make(chan struct{})
@@ -923,7 +1030,14 @@ func (s *Service) runExec(eng *congest.Engine, e *exec) {
 	}
 	e.state = StateRunning
 	e.cancel = cancel
+	if s.opts.FlightRounds >= 0 {
+		e.recorder = congest.NewFlightRecorder(s.opts.FlightRounds)
+	}
 	started := time.Now()
+	e.trace = append(e.trace, traceEvent{
+		name: "started", cat: "lifecycle", at: started,
+		args: map[string]any{"tier": e.tier},
+	})
 	for _, j := range e.waiters {
 		j.state = StateRunning
 		j.started = started
@@ -941,6 +1055,25 @@ func (s *Service) runExec(eng *congest.Engine, e *exec) {
 		delete(s.inflight, e.key)
 	}
 	now := time.Now()
+	// finalize moves every attached record to its terminal state,
+	// merging the execution's shared timeline plus the given trailing
+	// events (terminal instant first, so a flight-recorder tail renders
+	// after it) into each job's permanent trace.
+	finalize := func(state State, errText string, tailEvents []traceEvent) {
+		for _, j := range e.waiters {
+			j.state = state
+			j.err = errText
+			j.finished = now
+			j.exec = nil
+			j.trace = append(j.trace, e.trace...)
+			j.trace = append(j.trace, traceEvent{
+				name: string(state), cat: "lifecycle", at: now,
+				args: map[string]any{"rounds": e.progress.Round(), "delivered": e.progress.Delivered()},
+			})
+			j.trace = append(j.trace, tailEvents...)
+			s.retireLocked(j)
+		}
+	}
 	switch {
 	case err == nil:
 		if e.tier != TierTiered {
@@ -953,44 +1086,35 @@ func (s *Service) runExec(eng *congest.Engine, e *exec) {
 		s.completed.Add(1)
 		s.rounds.Add(int64(e.progress.Round()))
 		s.busyNanos.Add(now.Sub(started).Nanoseconds())
+		finalize(StateDone, "", nil)
 		for _, j := range e.waiters {
-			j.state = StateDone
 			j.result = res
 			j.setupNs = setupNs
-			j.finished = now
-			j.exec = nil
-			s.retireLocked(j)
+			s.durs[e.tier].observe(now.Sub(j.created))
 		}
+		s.log.Debug("job done", "tier", e.tier, "key", e.key,
+			"rounds", e.progress.Round(), "elapsed", now.Sub(started))
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, congest.ErrBudgetExceeded):
 		// Wall-clock deadline or round budget: terminal StateDeadline.
 		// The progress gauge and any published approx payload stay on
-		// the records — partial progress is the outcome, not an error.
-		for _, j := range e.waiters {
-			j.state = StateDeadline
-			j.err = err.Error()
-			j.finished = now
-			j.exec = nil
-			s.deadlined.Add(1)
-			s.retireLocked(j)
+		// the records — partial progress is the outcome, not an error —
+		// and each trace ends with the flight recorder's last rounds.
+		s.deadlined.Add(int64(len(e.waiters)))
+		var tail []traceEvent
+		if e.recorder != nil {
+			tail = flightEvents(e.runStart, e.recorder.Tail())
 		}
+		finalize(StateDeadline, err.Error(), tail)
+		s.log.Warn("job deadline", "tier", e.tier, "key", e.key,
+			"rounds", e.progress.Round(), "err", err)
 	case errors.Is(err, context.Canceled):
-		for _, j := range e.waiters {
-			j.state = StateCanceled
-			j.err = err.Error()
-			j.finished = now
-			j.exec = nil
-			s.canceled.Add(1)
-			s.retireLocked(j)
-		}
+		s.canceled.Add(int64(len(e.waiters)))
+		finalize(StateCanceled, err.Error(), nil)
+		s.log.Info("job canceled", "tier", e.tier, "key", e.key)
 	default:
 		s.failed.Add(1)
-		for _, j := range e.waiters {
-			j.state = StateFailed
-			j.err = err.Error()
-			j.finished = now
-			j.exec = nil
-			s.retireLocked(j)
-		}
+		finalize(StateFailed, err.Error(), nil)
+		s.log.Warn("job failed", "tier", e.tier, "key", e.key, "err", err)
 	}
 	e.waiters = nil
 }
@@ -1034,7 +1158,12 @@ func (s *Service) execute(ctx context.Context, eng *congest.Engine, e *exec) ([]
 		return nil, 0, err
 	}
 	chaos.Inject(chaos.SiteWorkerExecute)
+	t0 := time.Now()
 	g, err := Build(e.req.Graph)
+	s.execTrace(e, traceEvent{
+		name: "build", cat: "phase", at: t0, dur: time.Since(t0),
+		args: map[string]any{"n": e.req.Graph.N, "m": len(e.req.Graph.Edges)},
+	})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -1086,14 +1215,56 @@ func (s *Service) publishRefining(e *exec, approx []byte) {
 	defer s.mu.Unlock()
 	e.state = StateRefining
 	e.approx = approx
+	e.trace = append(e.trace, traceEvent{
+		name: "refining", cat: "lifecycle", at: time.Now(),
+		args: map[string]any{"approx_bytes": len(approx)},
+	})
 	for _, j := range e.waiters {
 		j.state = StateRefining
 		j.approx = approx
 	}
 }
 
+// execTrace appends one event to the execution's shared timeline.
+func (s *Service) execTrace(e *exec, ev traceEvent) {
+	s.mu.Lock()
+	e.trace = append(e.trace, ev)
+	s.mu.Unlock()
+}
+
+// recordRun appends one tier run's phase events to the execution's
+// timeline — the run:<tier> umbrella span, the engine setup span, and
+// the phase-span tree reconstructed from the run's marks — and folds
+// the leaf spans into the service-wide per-phase counters. A run
+// killed before it produced stats (deadline, budget, cancel) still
+// gets its umbrella span, so partial traces show where the wall time
+// went even without protocol marks.
+func (s *Service) recordRun(e *exec, tier string, t0 time.Time, stats *congest.Stats) {
+	evs := make([]traceEvent, 0, 8)
+	evs = append(evs, traceEvent{
+		name: "run:" + tier, cat: "phase", at: t0, dur: time.Since(t0),
+	})
+	var spans []*distmincut.Span
+	if stats != nil {
+		evs = append(evs, traceEvent{
+			name: "setup", cat: "phase", at: t0, dur: time.Duration(stats.SetupNanos),
+		})
+		spans = distmincut.Spans(stats)
+		evs = spanEvents(t0, spans, evs)
+	}
+	s.mu.Lock()
+	e.trace = append(e.trace, evs...)
+	if spans != nil {
+		addPhaseTotals(s.phaseRounds, s.phaseMessages, spans)
+	}
+	s.mu.Unlock()
+}
+
 // runTier runs one serving tier's protocol and encodes its canonical
-// result bytes under the given key.
+// result bytes under the given key. The run is observed end to end:
+// the execution's flight recorder (reset per run) rides along as the
+// engine observer, and the run's phase spans land on the timeline via
+// recordRun whether the run finishes or aborts.
 func (s *Service) runTier(ctx context.Context, eng *congest.Engine, e *exec, g *graph.Graph, tier, key string) ([]byte, int64, error) {
 	opts := &distmincut.Options{
 		Seed:           e.req.Seed,
@@ -1106,11 +1277,20 @@ func (s *Service) runTier(ctx context.Context, eng *congest.Engine, e *exec, g *
 		Progress:       e.progress,
 		CheckPayload:   s.opts.CheckPayload,
 	}
+	if e.recorder != nil {
+		e.recorder.Reset()
+		opts.Observer = e.recorder
+	}
+	t0 := time.Now()
+	e.runStart = t0
+	var stats *congest.Stats
+	defer func() { s.recordRun(e, tier, t0, stats) }()
 	if tier == TierBracket {
 		br, err := distmincut.BracketMinCutContext(ctx, g, opts)
 		if err != nil {
 			return nil, 0, err
 		}
+		stats = br.Stats
 		data, err := encodeBracket(key, g.N(), g.M(), br)
 		if err != nil {
 			return nil, 0, err
@@ -1132,6 +1312,7 @@ func (s *Service) runTier(ctx context.Context, eng *congest.Engine, e *exec, g *
 	if err != nil {
 		return nil, 0, err
 	}
+	stats = res.Stats
 	data, err := encodeResult(key, tier, g.N(), g.M(), res)
 	if err != nil {
 		return nil, 0, err

@@ -1,0 +1,125 @@
+package distmincut
+
+import (
+	"strings"
+
+	"distmincut/internal/congest"
+)
+
+// Span is one named phase of a distributed computation, reconstructed
+// from the begin:/end: marks the protocol's designated node records at
+// phase boundaries (see congest.Mark). A span carries the phase's
+// CONGEST round span, its delivered-message span, and its wall-clock
+// span, and nests: the pipeline's top-level phases (bfs, pack, level:N,
+// markside, ...) contain the per-tree spans (mst, respect) they drive,
+// which in turn contain the MST parts. Sibling spans tile the run in
+// order, so top-level spans sum (up to the inter-phase gaps, which are
+// zero rounds) to the run's totals.
+type Span struct {
+	// Name is the phase label ("bfs", "mst", "level:3", ...). The text
+	// up to the first ':' is the phase group (see PhaseGroup).
+	Name string
+	// StartRound and EndRound delimit the phase in CONGEST rounds;
+	// EndRound - StartRound is the phase's round cost.
+	StartRound, EndRound int
+	// StartMessages and EndMessages are the run's cumulative
+	// delivered-message counts at the phase boundaries.
+	StartMessages, EndMessages int64
+	// StartNanos and EndNanos are wall nanoseconds from the engine
+	// Run's entry to the phase boundaries (engine setup included), so
+	// spans from one run anchor to the run's wall-clock start.
+	StartNanos, EndNanos int64
+	// Children are the phases nested inside this one, in order.
+	Children []*Span
+}
+
+// Rounds is the phase's CONGEST round cost.
+func (s *Span) Rounds() int { return s.EndRound - s.StartRound }
+
+// Messages is the number of messages delivered during the phase.
+func (s *Span) Messages() int64 { return s.EndMessages - s.StartMessages }
+
+// Nanos is the phase's wall-clock cost in nanoseconds.
+func (s *Span) Nanos() int64 { return s.EndNanos - s.StartNanos }
+
+// PhaseGroup maps a span name to its aggregation group: the name up to
+// the first ':' ("level:3" → "level", "mst:part1" → "mst", "bfs" →
+// "bfs"). Per-phase counters aggregate by group so dynamic labels
+// (sampling levels, MST parts) stay bounded-cardinality.
+func PhaseGroup(name string) string {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Spans reconstructs the phase-span tree of one run from its marks.
+// Marks are recorded in round order under the engine's mutex, and the
+// pipeline's phase marks all come from one designated node, so a
+// begin:/end: stack recovers the nesting exactly. Unmatched end marks
+// are ignored; spans left open (an aborted run) are closed at the run's
+// final round, message count, and last observed wall instant, so
+// partial traces stay well-formed. Returns the top-level spans in
+// order; stats may be nil (returns nil).
+func Spans(stats *congest.Stats) []*Span {
+	if stats == nil {
+		return nil
+	}
+	var top []*Span
+	var stack []*Span
+	lastNanos := int64(0)
+	attach := func(s *Span) {
+		if len(stack) > 0 {
+			p := stack[len(stack)-1]
+			p.Children = append(p.Children, s)
+		} else {
+			top = append(top, s)
+		}
+	}
+	for _, m := range stats.Marks {
+		if m.Nanos > lastNanos {
+			lastNanos = m.Nanos
+		}
+		switch {
+		case strings.HasPrefix(m.Label, "begin:"):
+			s := &Span{
+				Name:          m.Label[len("begin:"):],
+				StartRound:    m.Round,
+				EndRound:      m.Round,
+				StartMessages: m.Delivered,
+				EndMessages:   m.Delivered,
+				StartNanos:    m.Nanos,
+				EndNanos:      m.Nanos,
+			}
+			attach(s)
+			stack = append(stack, s)
+		case strings.HasPrefix(m.Label, "end:"):
+			name := m.Label[len("end:"):]
+			// Find the matching open span; anything opened above it is
+			// implicitly closed at the same boundary.
+			at := -1
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].Name == name {
+					at = i
+					break
+				}
+			}
+			if at < 0 {
+				continue // unmatched end mark
+			}
+			for i := len(stack) - 1; i >= at; i-- {
+				stack[i].EndRound = m.Round
+				stack[i].EndMessages = m.Delivered
+				stack[i].EndNanos = m.Nanos
+			}
+			stack = stack[:at]
+		}
+	}
+	// Close spans an abort left open at the run's final accounting.
+	for _, s := range stack {
+		s.EndRound = stats.Rounds
+		s.EndMessages = stats.Delivered
+		s.EndNanos = lastNanos
+	}
+	return top
+}
