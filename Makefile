@@ -19,7 +19,7 @@ test-short:
 # drain, and admission paths must never kill the process, break a
 # drain, or corrupt the content-addressed cache.
 test-chaos:
-	$(GO) test -race -count=1 -tags chaos ./internal/chaos/... ./internal/service/...
+	$(GO) test -race -count=1 -tags chaos ./internal/chaos/... ./internal/service/... ./internal/gateway/...
 
 vet:
 	$(GO) vet ./...

@@ -21,9 +21,18 @@
 // (admission rejection) sheds immediately: the server has judged the
 // request class too expensive, so retrying the same spec cannot help.
 // Jobs that end in the deadline state count separately, as do jobs the
-// server degraded to a cheaper tier (degraded_from set). Only
-// transport errors and failed/canceled jobs are failures; the exit
-// code is non-zero only when something failed or nothing completed.
+// server degraded to a cheaper tier (degraded_from set).
+//
+// Transport faults are retried, not failed: a connection refused or
+// reset on submit (a replica restarting, a gateway failing over) backs
+// off exactly like a 503, a failed or 5xx poll backs off and re-polls,
+// and a job that vanishes outright (404, or polls that never stop
+// failing) is resubmitted from scratch — the backend is deterministic
+// and content-addressed, so a resubmission can only cache-hit or
+// recompute the identical bytes. Each recovery class is counted
+// separately in the report. Only exhausted retries and failed/canceled
+// jobs are failures; the exit code is non-zero only when something
+// failed or nothing completed.
 //
 // With no -addr, loadgen self-hosts: it starts an in-process service
 // behind a real HTTP listener and drives that, which is what `make
@@ -182,8 +191,21 @@ type outcome struct {
 	deadlined int
 	degraded  int
 	hits      int64
-	wall      time.Duration
-	metrics   service.Metrics
+	// Transport-fault recovery counts: submit connection retries, poll
+	// retries, and full resubmissions of jobs lost to a replica failure.
+	connRetries int64
+	pollRetries int64
+	resubmits   int64
+	wall        time.Duration
+	metrics     service.Metrics
+}
+
+// transportRetries tallies client-side fault recovery across all
+// worker goroutines; gather folds the totals into the outcome.
+var transportRetries struct {
+	submit    atomic.Int64
+	poll      atomic.Int64
+	resubmits atomic.Int64
 }
 
 // reqResult is one request's measurements: its status (done, shed,
@@ -296,6 +318,9 @@ func gather(base string, client *http.Client, results []reqResult, wall time.Dur
 		res.mean = sum / time.Duration(res.completed)
 		res.meanFirst = sumFirst / time.Duration(res.completed)
 	}
+	res.connRetries = transportRetries.submit.Load()
+	res.pollRetries = transportRetries.poll.Load()
+	res.resubmits = transportRetries.resubmits.Load()
 	if resp, err := client.Get(base + "/metrics?format=json"); err == nil {
 		_ = json.NewDecoder(resp.Body).Decode(&res.metrics)
 		resp.Body.Close()
@@ -334,10 +359,66 @@ func retryAfterHint(resp *http.Response) time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
+// submitJob posts one request until it is accepted, shed, or failed,
+// returning the accepted view and "" on success, or ("", outcome) when
+// the request is finished without a job. Queue-full 503s and transport
+// faults (connection refused/reset while a replica restarts, a
+// gateway's 502 while every candidate is mid-failover) both back off
+// with the same jittered policy and share the -max-retries budget;
+// transport retries are tallied separately for the report.
+func submitJob(client *http.Client, base string, body []byte, idx int, start time.Time, o options) (service.JobView, string) {
+	var view service.JobView
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			if attempt >= o.maxRetries || time.Since(start) > o.timeout {
+				fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", idx, err)
+				return view, "failed"
+			}
+			transportRetries.submit.Add(1)
+			time.Sleep(backoff(attempt+1, 0))
+			continue
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable:
+			if attempt >= o.maxRetries || time.Since(start) > o.timeout {
+				return view, "shed"
+			}
+			time.Sleep(backoff(attempt+1, retryAfterHint(resp)))
+			continue
+		case http.StatusTooManyRequests:
+			return view, "shed"
+		case http.StatusBadGateway:
+			if attempt >= o.maxRetries || time.Since(start) > o.timeout {
+				fmt.Fprintf(os.Stderr, "loadgen: request %d: submit status %d: %s\n", idx, resp.StatusCode, data)
+				return view, "failed"
+			}
+			transportRetries.submit.Add(1)
+			time.Sleep(backoff(attempt+1, retryAfterHint(resp)))
+			continue
+		case http.StatusAccepted, http.StatusOK:
+		default:
+			fmt.Fprintf(os.Stderr, "loadgen: request %d: submit status %d: %s\n", idx, resp.StatusCode, data)
+			return view, "failed"
+		}
+		if err := json.Unmarshal(data, &view); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", idx, err)
+			return view, "failed"
+		}
+		return view, ""
+	}
+}
+
 // oneRequest submits one job and waits for a terminal state. Queue-full
 // 503s back off and retry up to -max-retries before counting as shed;
 // admission 429s shed immediately. Deadline-state jobs and server-side
 // tier degradation are recorded as their own outcomes, not failures.
+// Failed or erroring polls back off and re-poll; a job that vanishes
+// (404) or whose polls never stop failing is resubmitted from scratch —
+// deterministic content-addressed serving makes the resubmission
+// either a cache hit or a byte-identical recomputation.
 func oneRequest(client *http.Client, base string, req service.JobRequest, idx int, o options) reqResult {
 	var r reqResult
 	r.status = "failed"
@@ -347,81 +428,95 @@ func oneRequest(client *http.Client, base string, req service.JobRequest, idx in
 		return r
 	}
 	start := time.Now()
-	var view service.JobView
-	for attempt := 0; ; attempt++ {
-		resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", idx, err)
+	deadline := start.Add(o.timeout)
+resubmit:
+	for submits := 0; ; submits++ {
+		view, outcome := submitJob(client, base, body, idx, start, o)
+		if outcome != "" {
+			r.status = outcome
 			return r
 		}
-		data, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusServiceUnavailable:
-			if attempt >= o.maxRetries || time.Since(start) > o.timeout {
-				r.status = "shed"
+		if submits == 0 {
+			r.hit = view.CacheHit
+		}
+		pollFails := 0
+		for view.State != service.StateDone {
+			if r.first == 0 && len(view.Approx) > 0 {
+				r.first = time.Since(start) // tiered: the refining-phase answer
+			}
+			if view.DegradedFrom != "" {
+				r.degraded = true
+			}
+			switch view.State {
+			case service.StateDeadline:
+				r.status = "deadline"
+				r.total = time.Since(start)
+				return r
+			case service.StateFailed, service.StateCanceled:
+				fmt.Fprintf(os.Stderr, "loadgen: request %d: job %s: %s (%s)\n", idx, view.ID, view.State, view.Error)
 				return r
 			}
-			time.Sleep(backoff(attempt+1, retryAfterHint(resp)))
-			continue
-		case http.StatusTooManyRequests:
-			r.status = "shed"
-			return r
-		case http.StatusAccepted, http.StatusOK:
-		default:
-			fmt.Fprintf(os.Stderr, "loadgen: request %d: submit status %d: %s\n", idx, resp.StatusCode, data)
-			return r
-		}
-		if err := json.Unmarshal(data, &view); err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", idx, err)
-			return r
-		}
-		break
-	}
-	r.hit = view.CacheHit
-	deadline := time.Now().Add(o.timeout)
-	for view.State != service.StateDone {
-		if r.first == 0 && len(view.Approx) > 0 {
-			r.first = time.Since(start) // tiered: the refining-phase answer
+			if time.Now().After(deadline) {
+				fmt.Fprintf(os.Stderr, "loadgen: request %d: job %s: timeout in state %s\n", idx, view.ID, view.State)
+				return r
+			}
+			time.Sleep(o.poll)
+			resp, err := client.Get(base + "/v1/jobs/" + view.ID)
+			if err != nil {
+				pollFails++
+				if pollFails > o.maxRetries {
+					fmt.Fprintf(os.Stderr, "loadgen: request %d: job %s: %v\n", idx, view.ID, err)
+					return r
+				}
+				transportRetries.poll.Add(1)
+				time.Sleep(backoff(pollFails, 0))
+				continue
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				pollFails = 0
+				if err := json.Unmarshal(data, &view); err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", idx, err)
+					return r
+				}
+			case resp.StatusCode == http.StatusNotFound:
+				// The job record is gone: a replica died holding it
+				// before any failover tier could replay it. Start over.
+				if submits >= o.maxRetries || time.Now().After(deadline) {
+					fmt.Fprintf(os.Stderr, "loadgen: request %d: job %s lost and retries exhausted\n", idx, view.ID)
+					return r
+				}
+				transportRetries.resubmits.Add(1)
+				continue resubmit
+			default:
+				// 502 while a gateway fails the job's replica over, or a
+				// transient 5xx: re-poll, and treat persistent
+				// unavailability as job loss.
+				pollFails++
+				if pollFails > o.maxRetries {
+					if submits >= o.maxRetries || time.Now().After(deadline) {
+						fmt.Fprintf(os.Stderr, "loadgen: request %d: job %s unreachable (status %d) and retries exhausted\n", idx, view.ID, resp.StatusCode)
+						return r
+					}
+					transportRetries.resubmits.Add(1)
+					continue resubmit
+				}
+				transportRetries.poll.Add(1)
+				time.Sleep(backoff(pollFails, retryAfterHint(resp)))
+			}
 		}
 		if view.DegradedFrom != "" {
 			r.degraded = true
 		}
-		switch view.State {
-		case service.StateDeadline:
-			r.status = "deadline"
-			r.total = time.Since(start)
-			return r
-		case service.StateFailed, service.StateCanceled:
-			fmt.Fprintf(os.Stderr, "loadgen: request %d: job %s: %s (%s)\n", idx, view.ID, view.State, view.Error)
-			return r
+		r.status = "done"
+		r.total = time.Since(start)
+		if r.first == 0 {
+			r.first = r.total
 		}
-		if time.Now().After(deadline) {
-			fmt.Fprintf(os.Stderr, "loadgen: request %d: job %s: timeout in state %s\n", idx, view.ID, view.State)
-			return r
-		}
-		time.Sleep(o.poll)
-		resp, err := client.Get(base + "/v1/jobs/" + view.ID)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", idx, err)
-			return r
-		}
-		err = json.NewDecoder(resp.Body).Decode(&view)
-		resp.Body.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", idx, err)
-			return r
-		}
+		return r
 	}
-	if view.DegradedFrom != "" {
-		r.degraded = true
-	}
-	r.status = "done"
-	r.total = time.Since(start)
-	if r.first == 0 {
-		r.first = r.total
-	}
-	return r
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {
@@ -441,6 +536,10 @@ func report(w io.Writer, res *outcome, o options) {
 	fmt.Fprintf(w, "  requests:   %d completed, %d failed in %s\n", res.completed, res.failed, res.wall.Round(time.Millisecond))
 	fmt.Fprintf(w, "  overload:   %d shed, %d deadline, %d degraded to a cheaper tier\n",
 		res.shed, res.deadlined, res.degraded)
+	if res.connRetries+res.pollRetries+res.resubmits > 0 {
+		fmt.Fprintf(w, "  transport:  %d submit retries, %d poll retries, %d resubmits after job loss\n",
+			res.connRetries, res.pollRetries, res.resubmits)
+	}
 	if o.rate > 0 {
 		fmt.Fprintf(w, "  throughput: %.1f jobs/s completed (offered %.1f req/s)\n",
 			float64(res.completed)/res.wall.Seconds(), o.rate)

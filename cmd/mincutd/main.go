@@ -18,7 +18,14 @@
 //	        [-default-deadline 0] [-max-job-rounds 0]
 //	        [-admit-ceiling 0] [-admit-downtier]
 //	        [-shed-tiered 0] [-shed-approx 0] [-shed-bracket 0]
-//	        [-log-level info] [-flight 64] [-pprof ""] [-version]
+//	        [-log-level info] [-flight 64] [-pprof ""] [-replica ""]
+//	        [-version]
+//
+// In a multi-replica deployment each instance runs with -replica
+// <name> behind cmd/mincutgw: the gateway routes submissions by their
+// canonical spec hash, health-checks /healthz?check=ready, and drains
+// routes away when SIGTERM flips this instance's readiness false while
+// its listener keeps serving polls until running jobs finish.
 //
 // The overload controls: per-job wall-clock and round budgets (jobs
 // that trip them land in state "deadline" with partial progress and a
@@ -43,7 +50,7 @@
 //	GET    /v1/jobs/{id}/trace  job timeline as Chrome trace-event JSON
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/results/{key}    fetch a result by content address
-//	GET    /healthz             liveness plus build identity
+//	GET    /healthz             liveness + build identity (?check=ready for readiness)
 //	GET    /metrics             queue depth, cache hit rate, latency histograms
 //
 // Example session:
@@ -116,6 +123,7 @@ func run() int {
 	shedTiered := flag.Float64("shed-tiered", 0, "queue-pressure fraction above which exact degrades to tiered (0 = off)")
 	shedApprox := flag.Float64("shed-approx", 0, "queue-pressure fraction above which exact/tiered degrade to approx (0 = off)")
 	shedBracket := flag.Float64("shed-bracket", 0, "queue-pressure fraction above which everything degrades to bracket (0 = off)")
+	replica := flag.String("replica", "", "replica identity reported on job views and /healthz (empty = single instance)")
 	logLevel := flag.String("log-level", "info", "stderr log level: debug, info, warn, or error")
 	flight := flag.Int("flight", 0, "flight-recorder ring size in rounds (0 = default 64, negative = off)")
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this side address (empty = off)")
@@ -148,6 +156,7 @@ func run() int {
 		Degrade:         service.DegradeOptions{TieredAt: *shedTiered, ApproxAt: *shedApprox, BracketAt: *shedBracket},
 		Logger:          logger,
 		FlightRounds:    *flight,
+		Replica:         *replica,
 	})
 	api := service.NewAPI(svc)
 	api.MaxBody = *maxBody
@@ -185,11 +194,22 @@ func run() int {
 		logger.Info("signal received, draining", "signal", sig.String(), "budget", *drain)
 	}
 
+	// Drain in two stages so the listener outlives the job drain:
+	// readiness flips false immediately (BeginDrain: Submit 503s,
+	// /healthz?check=ready answers 503, plain /healthz stays 200), but
+	// HTTP keeps serving while queued and running jobs finish — a
+	// gateway observes the drain and routes around this replica, and
+	// clients keep polling their in-flight jobs. Only once the service
+	// drain completes (or the budget expires) does the listener close.
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	_ = server.Shutdown(ctx)
-	if err := svc.Shutdown(ctx); err != nil {
-		logger.Warn("drain incomplete, running jobs canceled", "err", err)
+	svc.BeginDrain()
+	drainErr := svc.Shutdown(ctx)
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer httpCancel()
+	_ = server.Shutdown(httpCtx)
+	if drainErr != nil {
+		logger.Warn("drain incomplete, running jobs canceled", "err", drainErr)
 		return 1
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {

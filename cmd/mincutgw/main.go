@@ -1,0 +1,182 @@
+// Command mincutgw fronts a fleet of mincutd replicas with a
+// fault-tolerant routing tier. Every submission is canonicalized and
+// routed by its content-address hash — the same key the replicas cache
+// results under — onto a consistent-hash ring, so identical specs
+// stick to one replica and coalesce or cache-hit there exactly as on a
+// single instance.
+//
+// Because the backend is deterministic and content-addressed, the
+// gateway retries freely: connection failures and 5xx responses
+// re-route to the next ring replica inside a wall-clock budget, slow
+// result fetches can be hedged (-hedge-after), replicas that stop
+// answering are ejected and probed back in on exponential backoff, and
+// a replica announcing a drain (SIGTERM on mincutd) keeps its running
+// jobs while its queued jobs are replayed elsewhere — a rolling
+// restart loses nothing.
+//
+// Usage:
+//
+//	mincutgw -replicas http://h1:8371,http://h2:8371,http://h3:8371
+//	         [-addr :8370] [-vnodes 64]
+//	         [-health-interval 500ms] [-health-timeout 1s]
+//	         [-eject-after 2] [-reinstate-base 1s] [-reinstate-max 30s]
+//	         [-retries 3] [-attempt-timeout 15s] [-budget 30s]
+//	         [-hedge-after 0] [-tracked-jobs 8192]
+//	         [-max-nodes 0] [-max-edges 0] [-max-body 0]
+//	         [-log-level info] [-version]
+//
+// Each -replicas entry is a base URL, optionally prefixed name= to pin
+// the replica's gateway-side name (default r0, r1, ...). The name
+// prefixes every job ID the gateway hands out ("r0.j12"), which is how
+// polls route back without gateway state. Run each mincutd with
+// -replica <name> matching so job views and logs line up across tiers.
+//
+// -max-nodes/-max-edges must match the replicas' flags: the gateway
+// canonicalizes submissions with the same limits to derive the same
+// routing key the replica will cache under.
+//
+// Endpoints mirror mincutd's API (docs/API.md), with job IDs
+// namespaced by replica; /healthz and /metrics report the gateway
+// itself, including per-replica health and the mincutgw_* series.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"distmincut/internal/gateway"
+	"distmincut/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// parseReplicas turns the -replicas flag value into the gateway's
+// replica set: comma-separated base URLs, each optionally name=url.
+func parseReplicas(s string) ([]gateway.Replica, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("no replicas given (want -replicas url[,url...])")
+	}
+	var out []gateway.Replica
+	for i, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name := fmt.Sprintf("r%d", i)
+		url := ent
+		if pre, rest, ok := strings.Cut(ent, "="); ok && !strings.Contains(pre, "/") {
+			name, url = pre, rest
+		}
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		out = append(out, gateway.Replica{Name: name, BaseURL: url})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no replicas given (want -replicas url[,url...])")
+	}
+	return out, nil
+}
+
+func run() int {
+	addr := flag.String("addr", ":8370", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs, each optionally name=url")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per replica on the hash ring")
+	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "health probe period")
+	healthTimeout := flag.Duration("health-timeout", time.Second, "health probe timeout")
+	ejectAfter := flag.Int("eject-after", 2, "consecutive probe failures before a replica is ejected")
+	reinstateBase := flag.Duration("reinstate-base", time.Second, "first re-probe delay after an ejection (doubles per failure)")
+	reinstateMax := flag.Duration("reinstate-max", 30*time.Second, "re-probe delay ceiling for ejected replicas")
+	retries := flag.Int("retries", 3, "max upstream submit attempts per request")
+	attemptTimeout := flag.Duration("attempt-timeout", 15*time.Second, "per-attempt upstream timeout")
+	budget := flag.Duration("budget", 30*time.Second, "wall-clock budget per client request across all attempts")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge result fetches on the next replica after this delay (0 = off)")
+	trackedJobs := flag.Int("tracked-jobs", 8192, "in-flight jobs retained for replay off a lost replica")
+	maxNodes := flag.Int("max-nodes", 0, "max nodes per accepted graph, matching the replicas (0 = default)")
+	maxEdges := flag.Int("max-edges", 0, "max edges per accepted graph, matching the replicas (0 = default)")
+	maxBody := flag.Int64("max-body", 0, "max submit body bytes (0 = default)")
+	logLevel := flag.String("log-level", "info", "stderr log level: debug, info, warn, or error")
+	version := flag.Bool("version", false, "print build identity and exit")
+	flag.Parse()
+
+	if *version {
+		b := service.ReadBuild()
+		fmt.Printf("mincutgw %s commit %s %s\n", b.Version, b.Commit, b.GoVersion)
+		return 0
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "mincutgw: bad -log-level %q (want debug, info, warn, or error)\n", *logLevel)
+		return 2
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	reps, err := parseReplicas(*replicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mincutgw:", err)
+		return 2
+	}
+	gw, err := gateway.New(gateway.Options{
+		Replicas:       reps,
+		VirtualNodes:   *vnodes,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		EjectAfter:     *ejectAfter,
+		ReinstateBase:  *reinstateBase,
+		ReinstateMax:   *reinstateMax,
+		Retries:        *retries,
+		AttemptTimeout: *attemptTimeout,
+		Budget:         *budget,
+		HedgeAfter:     *hedgeAfter,
+		TrackedJobs:    *trackedJobs,
+		Limits:         service.Limits{MaxNodes: *maxNodes, MaxEdges: *maxEdges},
+		MaxBody:        *maxBody,
+		Logger:         logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mincutgw:", err)
+		return 2
+	}
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	logger.Info("gateway listening", "addr", *addr, "replicas", len(reps))
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		logger.Error("server failed", "err", err)
+		gw.Close()
+		return 1
+	case sig := <-sigCh:
+		logger.Info("signal received, shutting down", "signal", sig.String())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = server.Shutdown(ctx)
+	gw.Close()
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("server failed", "err", err)
+		return 1
+	}
+	logger.Info("gateway stopped")
+	return 0
+}

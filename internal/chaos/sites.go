@@ -52,4 +52,23 @@ const (
 	// hooks here must fail open (the submission is admitted and the
 	// real run reports the real error).
 	SiteAdmission = "service.admission"
+
+	// SiteGatewayForward fires in the replica gateway before every
+	// upstream attempt (submits, polls, result fetches, replays). Stall
+	// hooks model a black-holed or slow connection: the per-attempt
+	// timeout must expire and the request fail over to the next ring
+	// replica inside its wall-clock budget.
+	SiteGatewayForward = "gateway.forward"
+
+	// SiteGatewayProbe fires before each health probe of one replica.
+	// Stall hooks model a slow or unresponsive health endpoint; the
+	// probe timeout bounds the sweep and repeated failures must eject
+	// the replica.
+	SiteGatewayProbe = "gateway.probe"
+
+	// SiteGatewayReplay fires before one tracked job is replayed off a
+	// draining or ejected replica. Stall hooks model replays racing the
+	// client's own polls and resubmissions — both paths are idempotent,
+	// so either winning must yield the same content-addressed result.
+	SiteGatewayReplay = "gateway.replay"
 )

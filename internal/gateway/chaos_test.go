@@ -1,0 +1,260 @@
+//go:build chaos
+
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distmincut/internal/chaos"
+	"distmincut/internal/service"
+)
+
+// TestGatewayDrainReplaysQueuedJobs is the deterministic rolling-
+// restart proof: replica A's single worker is pinned inside a chaos
+// hook, jobs queue up behind it through the gateway, and when A begins
+// draining the gateway must replay exactly the queued jobs to B — the
+// pinned job keeps running on A — with zero client-visible loss.
+func TestGatewayDrainReplaysQueuedJobs(t *testing.T) {
+	defer chaos.Reset()
+	release := make(chan struct{})
+	var pinned atomic.Bool
+	chaos.Arm(chaos.SiteWorkerExecute, func() {
+		// Pin only the first execution (A's lone worker); everything
+		// after — above all B's replayed runs — passes through.
+		if pinned.CompareAndSwap(false, true) {
+			<-release
+		}
+	})
+
+	svcA, tsA := newReplicaServer(t, "a", service.Options{PoolSize: 1, QueueDepth: 64})
+	_, tsB := newReplicaServer(t, "b", service.Options{PoolSize: 2})
+	g, gws := newTestGateway(t, Options{
+		Replicas: []Replica{{Name: "a", BaseURL: tsA.URL}, {Name: "b", BaseURL: tsB.URL}},
+	})
+
+	// Occupy A's worker with a job submitted around the gateway, so the
+	// gateway's tracked set holds only the queued jobs that follow.
+	var blockReq service.JobRequest
+	_ = json.Unmarshal([]byte(specBody(99999)), &blockReq)
+	if _, err := svcA.Submit(blockReq); err != nil {
+		t.Fatal(err)
+	}
+
+	const queued = 4
+	ids := make([]string, queued)
+	for i := 0; i < queued; i++ {
+		seed := seedOwnedBy(t, g, 0) + i*10000 // distinct specs, all owned by A
+		for g.ring.owner(specKey(t, specBody(seed))) != 0 {
+			seed++
+		}
+		status, view := gwSubmit(t, gws.URL, specBody(seed))
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d, want 202 (queued behind the pinned worker)", i, status)
+		}
+		ids[i] = view.JobID
+	}
+
+	// Rolling restart begins: A flips to draining, the next probe sweep
+	// observes it and replays A's queued jobs onto B.
+	svcA.BeginDrain()
+	g.CheckNow()
+
+	m := g.Metrics()
+	var replays int64
+	for _, rm := range m.PerReplica {
+		if rm.Name == "a" {
+			replays = rm.Replays
+		}
+	}
+	if replays != queued {
+		t.Errorf("replays off a = %d, want %d (every queued job, nothing else)", replays, queued)
+	}
+
+	// Unpin A's worker so its running job (and the drain) can finish.
+	close(release)
+
+	for _, id := range ids {
+		view := gwPollDone(t, gws.URL, id, 30*time.Second)
+		if view.Replica != "b" {
+			t.Errorf("job %s finished on %q, want the replay target b", id, view.Replica)
+		}
+		if len(view.Result) == 0 {
+			t.Errorf("job %s done without result bytes", id)
+		}
+	}
+	if got := g.Metrics().JobsFailed; got != 0 {
+		t.Errorf("jobs_failed = %d, want 0 across the drain", got)
+	}
+}
+
+// TestGatewayPollNeverSurfacesReplayCancel pins the poll/replay race:
+// a poll that resolves a job's old binding just before a replay
+// rebinds it can reach the old replica after the replay's cleanup
+// DELETE and read the canceled stale copy. The gateway must notice the
+// binding moved and re-poll the new home instead of surfacing its own
+// internal cancel to the client. The interleaving is forced exactly:
+// the forward chaos site fires after the poll resolves the old binding
+// and before the upstream request, and the hook performs the replay's
+// rebind + cleanup at that moment.
+func TestGatewayPollNeverSurfacesReplayCancel(t *testing.T) {
+	defer chaos.Reset()
+	release := make(chan struct{})
+	defer close(release)
+	var pinned atomic.Bool
+	chaos.Arm(chaos.SiteWorkerExecute, func() {
+		if pinned.CompareAndSwap(false, true) {
+			<-release
+		}
+	})
+
+	svcA, tsA := newReplicaServer(t, "a", service.Options{PoolSize: 1, QueueDepth: 64})
+	_, tsB := newReplicaServer(t, "b", service.Options{PoolSize: 2})
+	g, gws := newTestGateway(t, Options{
+		Replicas: []Replica{{Name: "a", BaseURL: tsA.URL}, {Name: "b", BaseURL: tsB.URL}},
+	})
+
+	// Pin A's lone worker so the job submitted through the gateway
+	// stays queued on A (replayable, cancelable).
+	var blockReq service.JobRequest
+	_ = json.Unmarshal([]byte(specBody(99999)), &blockReq)
+	if _, err := svcA.Submit(blockReq); err != nil {
+		t.Fatal(err)
+	}
+
+	seed := seedOwnedBy(t, g, 0)
+	status, view := gwSubmit(t, gws.URL, specBody(seed))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202 (queued behind the pinned worker)", status)
+	}
+	gwID := view.JobID
+	oldLocal := strings.TrimPrefix(gwID, "a.")
+
+	// The replay target: the same spec computed to completion on B.
+	bView, err := http.Post(tsB.URL+"/v1/jobs", "application/json", strings.NewReader(specBody(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bv struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.NewDecoder(bView.Body).Decode(&bv); err != nil {
+		t.Fatal(err)
+	}
+	bView.Body.Close()
+	gwPollDone(t, tsB.URL, bv.JobID, 30*time.Second)
+
+	// Mid-poll, after the old binding is resolved: rebind to B and
+	// cancel the stale copy on A — exactly what replay() does.
+	var raced atomic.Bool
+	chaos.Arm(chaos.SiteGatewayForward, func() {
+		if !raced.CompareAndSwap(false, true) {
+			return
+		}
+		g.mu.Lock()
+		tj := g.tracked[gwID]
+		tj.replica, tj.localID = "b", bv.JobID
+		g.mu.Unlock()
+		del, _ := http.NewRequest(http.MethodDelete, tsA.URL+"/v1/jobs/"+oldLocal, nil)
+		resp, err := http.DefaultClient.Do(del)
+		if err != nil {
+			t.Errorf("cancel stale copy: %v", err)
+			return
+		}
+		resp.Body.Close()
+	})
+
+	resp, err := http.Get(gws.URL + "/v1/jobs/" + gwID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll status %d, want 200", resp.StatusCode)
+	}
+	if out.State == service.StateCanceled {
+		t.Fatalf("client saw the replay's internal cancel for job %s", gwID)
+	}
+	if out.State != service.StateDone {
+		t.Fatalf("poll state %s, want done from the rebound replica", out.State)
+	}
+	if out.ID != gwID {
+		t.Fatalf("poll returned job ID %q, want the stable gateway ID %q", out.ID, gwID)
+	}
+}
+
+// TestGatewayForwardStallInjection stalls every upstream attempt at
+// the gateway's forward fault site and asserts requests still complete
+// — the stall costs latency, never correctness — and that the site
+// actually fired.
+func TestGatewayForwardStallInjection(t *testing.T) {
+	defer chaos.Reset()
+	chaos.Arm(chaos.SiteGatewayForward, func() { time.Sleep(20 * time.Millisecond) })
+
+	_, ts := newReplicaServer(t, "r0", service.Options{})
+	_, gws := newTestGateway(t, Options{
+		Replicas: []Replica{{Name: "r0", BaseURL: ts.URL}},
+	})
+
+	status, view := gwSubmit(t, gws.URL, specBody(3))
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("submit under stall: status %d", status)
+	}
+	if !strings.HasPrefix(view.JobID, "r0.") {
+		t.Fatalf("unexpected job ID %q", view.JobID)
+	}
+	gwPollDone(t, gws.URL, view.JobID, 30*time.Second)
+	if chaos.Fired(chaos.SiteGatewayForward) == 0 {
+		t.Error("gateway.forward site never fired")
+	}
+}
+
+// TestGatewayProbeStallInjection stalls health probes and asserts the
+// sweep still classifies a live replica correctly afterwards.
+func TestGatewayProbeStallInjection(t *testing.T) {
+	defer chaos.Reset()
+	chaos.Arm(chaos.SiteGatewayProbe, func() { time.Sleep(10 * time.Millisecond) })
+
+	_, ts := newReplicaServer(t, "r0", service.Options{})
+	g, _ := newTestGateway(t, Options{
+		Replicas: []Replica{{Name: "r0", BaseURL: ts.URL}},
+	})
+	g.CheckNow()
+	if m := g.Metrics(); m.HealthyReplicas != 1 {
+		t.Fatalf("stalled probe misclassified a live replica: %+v", m.PerReplica)
+	}
+	if chaos.Fired(chaos.SiteGatewayProbe) == 0 {
+		t.Error("gateway.probe site never fired")
+	}
+}
+
+// TestGatewayDrainSiteStillFires pins the existing service.drain site:
+// the staged BeginDrain/Shutdown split must keep firing it exactly as
+// the one-shot Shutdown did.
+func TestGatewayDrainSiteStillFires(t *testing.T) {
+	defer chaos.Reset()
+	chaos.Arm(chaos.SiteDrain, func() {})
+
+	svc := service.New(service.Options{PoolSize: 1, Logger: quietLogger()})
+	svc.BeginDrain()
+	if chaos.Fired(chaos.SiteDrain) != 1 {
+		t.Fatalf("service.drain fired %d times after BeginDrain, want 1", chaos.Fired(chaos.SiteDrain))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if chaos.Fired(chaos.SiteDrain) != 1 {
+		t.Fatalf("service.drain fired %d times after Shutdown, want still 1 (idempotent drain)", chaos.Fired(chaos.SiteDrain))
+	}
+}

@@ -1,0 +1,608 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"distmincut/internal/service"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newReplicaServer boots one in-process mincutd replica.
+func newReplicaServer(t *testing.T, name string, opts service.Options) (*service.Service, *httptest.Server) {
+	t.Helper()
+	if opts.PoolSize == 0 {
+		opts.PoolSize = 2
+	}
+	opts.Replica = name
+	if opts.Logger == nil {
+		opts.Logger = quietLogger()
+	}
+	svc := service.New(opts)
+	ts := httptest.NewServer(service.NewAPI(svc).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+	return svc, ts
+}
+
+// newTestGateway builds a gateway plus its HTTP front. The default
+// options disable the background prober (negative interval) so tests
+// drive the health state machine deterministically with CheckNow.
+func newTestGateway(t *testing.T, opts Options) (*Gateway, *httptest.Server) {
+	t.Helper()
+	if opts.HealthInterval == 0 {
+		opts.HealthInterval = -1
+	}
+	if opts.Logger == nil {
+		opts.Logger = quietLogger()
+	}
+	g, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		g.Close()
+	})
+	return g, ts
+}
+
+func specBody(seed int) string {
+	return fmt.Sprintf(`{"graph":{"family":"planted","n1":16,"n2":16,"k":2,"in_p":0.5,"seed":%d},"tier":"exact"}`, seed)
+}
+
+func specKey(t *testing.T, body string) string {
+	t.Helper()
+	var req service.JobRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	_, key, err := service.CanonicalRequest(req, service.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// seedOwnedBy scans seeds until one's canonical key routes to replica
+// idx on g's ring.
+func seedOwnedBy(t *testing.T, g *Gateway, idx int) int {
+	t.Helper()
+	for seed := 1; seed < 10000; seed++ {
+		if g.ring.owner(specKey(t, specBody(seed))) == idx {
+			return seed
+		}
+	}
+	t.Fatal("no seed found routing to replica", idx)
+	return 0
+}
+
+// gwView is the loose job-view shape the tests read back through the
+// gateway.
+type gwView struct {
+	JobID   string          `json:"job_id"`
+	Key     string          `json:"key"`
+	State   string          `json:"state"`
+	Replica string          `json:"replica"`
+	Error   string          `json:"error"`
+	Result  json.RawMessage `json:"result"`
+}
+
+func gwSubmit(t *testing.T, url, body string) (int, gwView) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v gwView
+	data, _ := io.ReadAll(resp.Body)
+	_ = json.Unmarshal(data, &v)
+	return resp.StatusCode, v
+}
+
+// gwPollDone polls a job through the gateway until done, retrying
+// transport errors and 502s (a replica mid-failover answers that way
+// until the prober replays its jobs).
+func gwPollDone(t *testing.T, url, id string, timeout time.Duration) gwView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var v gwView
+		resp, err := http.Get(url + "/v1/jobs/" + id)
+		if err == nil {
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			_ = json.Unmarshal(data, &v)
+			switch {
+			case resp.StatusCode == http.StatusOK && v.State == string(service.StateDone):
+				return v
+			case resp.StatusCode == http.StatusOK &&
+				(v.State == string(service.StateFailed) || v.State == string(service.StateCanceled)):
+				t.Fatalf("job %s reached %s: %s", id, v.State, v.Error)
+			case resp.StatusCode == http.StatusNotFound:
+				t.Fatalf("job %s vanished", id)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not done within %v (last state %q, err %v)", id, timeout, v.State, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func gwFetchResult(t *testing.T, url, key string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/results/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+func threeReplicas(t *testing.T, opts service.Options) ([]*service.Service, []*httptest.Server, []Replica) {
+	t.Helper()
+	var svcs []*service.Service
+	var tss []*httptest.Server
+	var reps []Replica
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("r%d", i)
+		svc, ts := newReplicaServer(t, name, opts)
+		svcs = append(svcs, svc)
+		tss = append(tss, ts)
+		reps = append(reps, Replica{Name: name, BaseURL: ts.URL})
+	}
+	return svcs, tss, reps
+}
+
+func TestGatewayStickyRoutingAndCoalescing(t *testing.T) {
+	_, _, reps := threeReplicas(t, service.Options{})
+	_, gws := newTestGateway(t, Options{Replicas: reps})
+
+	body := specBody(42)
+	status, first := gwSubmit(t, gws.URL, body)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("submit: status %d", status)
+	}
+	if first.JobID == "" || !strings.Contains(first.JobID, ".") {
+		t.Fatalf("job ID %q not gateway-namespaced", first.JobID)
+	}
+	prefix := first.JobID[:strings.LastIndex(first.JobID, ".")]
+	if first.Replica != prefix {
+		t.Errorf("view replica %q != routed replica %q", first.Replica, prefix)
+	}
+	done := gwPollDone(t, gws.URL, first.JobID, 30*time.Second)
+	if len(done.Result) == 0 {
+		t.Fatal("done view has no result")
+	}
+
+	// The same spec resubmitted must land on the same replica and come
+	// straight back from its cache.
+	status2, second := gwSubmit(t, gws.URL, body)
+	if status2 != http.StatusOK {
+		t.Fatalf("resubmit: status %d, want 200 (cache hit)", status2)
+	}
+	if got := second.JobID[:strings.LastIndex(second.JobID, ".")]; got != prefix {
+		t.Errorf("resubmission routed to %q, want sticky %q", got, prefix)
+	}
+
+	// The result is served through the gateway byte-identically to the
+	// replica's canonical bytes.
+	rc, viaGW := gwFetchResult(t, gws.URL, first.Key)
+	if rc != http.StatusOK {
+		t.Fatalf("result fetch: status %d", rc)
+	}
+	if !bytes.Equal(viaGW, []byte(done.Result)) {
+		t.Error("result via gateway differs from job view result")
+	}
+}
+
+func TestGatewayBadSpecRejectedWithoutUpstream(t *testing.T) {
+	_, _, reps := threeReplicas(t, service.Options{})
+	g, gws := newTestGateway(t, Options{Replicas: reps})
+
+	status, _ := gwSubmit(t, gws.URL, `{"graph":{"family":"planted","n1":16,"n2":16,"k":2,"in_p":0.5,"seed":1},"tier":"nope"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad tier: status %d, want 400", status)
+	}
+	for _, rm := range g.Metrics().PerReplica {
+		if rm.Requests != 0 {
+			t.Errorf("replica %s saw %d requests for a spec the gateway should reject itself", rm.Name, rm.Requests)
+		}
+	}
+}
+
+func TestGatewayFailoverOnDeadReplica(t *testing.T) {
+	_, tss, reps := threeReplicas(t, service.Options{})
+	g, gws := newTestGateway(t, Options{
+		Replicas:       reps,
+		AttemptTimeout: 5 * time.Second,
+	})
+
+	// Kill a replica without telling the prober (it never runs in this
+	// test): the gateway discovers the loss on the submit path.
+	const dead = 1
+	seed := seedOwnedBy(t, g, dead)
+	tss[dead].Close()
+
+	status, view := gwSubmit(t, gws.URL, specBody(seed))
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("submit owned by dead replica: status %d", status)
+	}
+	if strings.HasPrefix(view.JobID, "r1.") {
+		t.Fatalf("job %q routed to the dead replica", view.JobID)
+	}
+	gwPollDone(t, gws.URL, view.JobID, 30*time.Second)
+
+	m := g.Metrics()
+	if m.JobsFailed != 0 {
+		t.Errorf("jobs_failed = %d, want 0 (failover should absorb the loss)", m.JobsFailed)
+	}
+	var retries, failures int64
+	for _, rm := range m.PerReplica {
+		retries += rm.Retries
+		failures += rm.Failures
+	}
+	if failures == 0 {
+		t.Error("expected at least one recorded upstream failure")
+	}
+	if retries == 0 {
+		t.Error("expected at least one recorded retry")
+	}
+}
+
+func TestGatewayBlackholeFailsOverWithinBudget(t *testing.T) {
+	// Replica 0 is a black hole: it accepts connections and never
+	// answers. The per-attempt timeout must cut it off and fail over.
+	hole := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server notices the client abandoning
+		// the request and cancels the context.
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	t.Cleanup(hole.Close)
+	_, ts := newReplicaServer(t, "good", service.Options{})
+	g, gws := newTestGateway(t, Options{
+		Replicas:       []Replica{{Name: "hole", BaseURL: hole.URL}, {Name: "good", BaseURL: ts.URL}},
+		AttemptTimeout: 100 * time.Millisecond,
+		Budget:         5 * time.Second,
+	})
+
+	seed := seedOwnedBy(t, g, 0) // owned by the black hole
+	start := time.Now()
+	status, view := gwSubmit(t, gws.URL, specBody(seed))
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("submit: status %d", status)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("failover took %v; the attempt timeout should bound it near 100ms", elapsed)
+	}
+	if !strings.HasPrefix(view.JobID, "good.") {
+		t.Fatalf("job %q not routed to the live replica", view.JobID)
+	}
+	gwPollDone(t, gws.URL, view.JobID, 30*time.Second)
+}
+
+func TestGatewayEjectAndReinstate(t *testing.T) {
+	// One replica on a hand-rolled listener so it can die and come back
+	// on the same address.
+	svc := service.New(service.Options{PoolSize: 1, Replica: "r0", Logger: quietLogger()})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+	handler := service.NewAPI(svc).Handler()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := &http.Server{Handler: handler}
+	go func() { _ = srv.Serve(ln) }()
+
+	g, gws := newTestGateway(t, Options{
+		Replicas:      []Replica{{Name: "r0", BaseURL: "http://" + addr}},
+		EjectAfter:    2,
+		ReinstateBase: time.Millisecond,
+		HealthTimeout: time.Second,
+	})
+
+	g.CheckNow()
+	if m := g.Metrics(); m.HealthyReplicas != 1 {
+		t.Fatalf("live replica probed as unhealthy: %+v", m.PerReplica)
+	}
+
+	// Kill it: two consecutive probe failures must eject.
+	_ = srv.Close()
+	g.CheckNow()
+	g.CheckNow()
+	m := g.Metrics()
+	if m.HealthyReplicas != 0 || m.PerReplica[0].State != "down" {
+		t.Fatalf("dead replica not ejected: %+v", m.PerReplica[0])
+	}
+	if m.PerReplica[0].Ejections != 1 {
+		t.Errorf("ejections = %d, want 1", m.PerReplica[0].Ejections)
+	}
+	if status, _ := gwSubmit(t, gws.URL, specBody(7)); status != http.StatusServiceUnavailable {
+		t.Errorf("submit with every replica down: status %d, want 503", status)
+	}
+
+	// Resurrect on the same address; after the backoff the next sweep
+	// reinstates it.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := &http.Server{Handler: handler}
+	go func() { _ = srv2.Serve(ln2) }()
+	t.Cleanup(func() { _ = srv2.Close() })
+
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Metrics().HealthyReplicas == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never reinstated")
+		}
+		time.Sleep(2 * time.Millisecond)
+		g.CheckNow()
+	}
+	m = g.Metrics()
+	if m.PerReplica[0].Reinstatements != 1 {
+		t.Errorf("reinstatements = %d, want 1", m.PerReplica[0].Reinstatements)
+	}
+	status, view := gwSubmit(t, gws.URL, specBody(7))
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("submit after reinstatement: status %d", status)
+	}
+	gwPollDone(t, gws.URL, view.JobID, 30*time.Second)
+}
+
+func TestGatewayHedgedResultFetch(t *testing.T) {
+	// Two replicas, both holding the result; the key's owner is slowed
+	// on its results endpoint, so the hedge must win.
+	svcA, tsA := newReplicaServer(t, "a", service.Options{})
+	svcB, tsB := newReplicaServer(t, "b", service.Options{})
+
+	const resultDelay = 600 * time.Millisecond
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/results/") {
+			time.Sleep(resultDelay)
+		}
+		// Re-proxy to the real replica by rewriting the host.
+		req, _ := http.NewRequestWithContext(r.Context(), r.Method, tsA.URL+r.URL.Path, r.Body)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(slow.Close)
+
+	g, gws := newTestGateway(t, Options{
+		Replicas:   []Replica{{Name: "a", BaseURL: slow.URL}, {Name: "b", BaseURL: tsB.URL}},
+		HedgeAfter: 25 * time.Millisecond,
+	})
+
+	seed := seedOwnedBy(t, g, 0) // owner is the slowed replica
+	body := specBody(seed)
+	key := specKey(t, body)
+
+	// Compute the result on both replicas directly so either can serve
+	// the fetch.
+	var want []byte
+	for _, svc := range []*service.Service{svcA, svcB} {
+		var req service.JobRequest
+		_ = json.Unmarshal([]byte(body), &req)
+		view, err := svc.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			v, ok := svc.Job(view.ID)
+			if !ok {
+				t.Fatal("job vanished")
+			}
+			if v.State == service.StateDone {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job stuck in %s", v.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		data, ok := svc.ResultByKey(key)
+		if !ok {
+			t.Fatal("no result bytes on replica")
+		}
+		want = data
+	}
+
+	start := time.Now()
+	rc, got := gwFetchResult(t, gws.URL, key)
+	elapsed := time.Since(start)
+	if rc != http.StatusOK {
+		t.Fatalf("hedged fetch: status %d", rc)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("hedged fetch returned different bytes")
+	}
+	if elapsed >= resultDelay {
+		t.Errorf("fetch took %v; the hedge should answer well before the %v primary", elapsed, resultDelay)
+	}
+	m := g.Metrics()
+	if m.Hedges != 1 || m.HedgeWins != 1 {
+		t.Errorf("hedges = %d, hedge_wins = %d, want 1 and 1", m.Hedges, m.HedgeWins)
+	}
+}
+
+func TestGatewayKillReplicaUnderLoad(t *testing.T) {
+	// The PR's core invariant: kill a replica mid-run under live load
+	// and every job still completes through the gateway, each result
+	// byte-identical to a fresh single-instance computation.
+	_, tss, reps := threeReplicas(t, service.Options{})
+	g, gws := newTestGateway(t, Options{
+		Replicas:       reps,
+		HealthInterval: 20 * time.Millisecond, // real prober: ejection must happen on its own
+		EjectAfter:     2,
+		ReinstateBase:  time.Hour, // the killed replica stays dead
+		AttemptTimeout: 2 * time.Second,
+		Budget:         10 * time.Second,
+	})
+
+	const jobs = 12
+	ids := make([]string, jobs)
+	keys := make([]string, jobs)
+	bodies := make([]string, jobs)
+	for i := 0; i < jobs; i++ {
+		bodies[i] = specBody(1000 + i)
+		status, view := gwSubmit(t, gws.URL, bodies[i])
+		if status != http.StatusAccepted && status != http.StatusOK {
+			t.Fatalf("submit %d: status %d", i, status)
+		}
+		ids[i], keys[i] = view.JobID, view.Key
+	}
+
+	// SIGKILL equivalent: the server drops every connection and stops
+	// answering. Tracked jobs it held get replayed once the prober
+	// ejects it.
+	tss[1].CloseClientConnections()
+	tss[1].Close()
+
+	for i := 0; i < jobs; i++ {
+		gwPollDone(t, gws.URL, ids[i], 60*time.Second)
+	}
+
+	// Reference run: a fresh single instance computes every spec.
+	ref := service.New(service.Options{PoolSize: 2, Logger: quietLogger()})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = ref.Shutdown(ctx)
+	})
+	for i := 0; i < jobs; i++ {
+		var req service.JobRequest
+		_ = json.Unmarshal([]byte(bodies[i]), &req)
+		view, err := ref.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			v, ok := ref.Job(view.ID)
+			if !ok {
+				t.Fatal("reference job vanished")
+			}
+			if v.State == service.StateDone {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("reference job stuck in %s", v.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		want, ok := ref.ResultByKey(keys[i])
+		if !ok {
+			t.Fatalf("reference run has no result for %s", keys[i])
+		}
+		rc, got := gwFetchResult(t, gws.URL, keys[i])
+		if rc != http.StatusOK {
+			t.Fatalf("result %d via gateway: status %d", i, rc)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("result %d differs from the single-instance bytes", i)
+		}
+	}
+
+	m := g.Metrics()
+	if m.JobsFailed != 0 {
+		t.Errorf("jobs_failed = %d, want 0", m.JobsFailed)
+	}
+	var ejections int64
+	for _, rm := range m.PerReplica {
+		ejections += rm.Ejections
+	}
+	if ejections == 0 {
+		t.Error("the killed replica was never ejected")
+	}
+}
+
+func TestGatewayHealthAndMetricsEndpoints(t *testing.T) {
+	_, _, reps := threeReplicas(t, service.Options{})
+	g, gws := newTestGateway(t, Options{Replicas: reps})
+	g.CheckNow()
+
+	resp, err := http.Get(gws.URL + "/healthz?check=ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Ready     bool `json:"ready"`
+		Healthy   int  `json:"healthy"`
+		Upstreams []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"upstreams"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !health.Ready || health.Healthy != 3 {
+		t.Fatalf("healthz = %d %+v, want 200 with 3 healthy", resp.StatusCode, health)
+	}
+
+	resp, err = http.Get(gws.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"# TYPE mincutgw_jobs_failed_total counter",
+		"# TYPE mincutgw_upstream_latency_seconds histogram",
+		`mincutgw_replica_up{replica="r0"} 1`,
+		`mincutgw_upstream_latency_seconds_bucket{replica="r2",le="+Inf"}`,
+		"mincutgw_build_info{",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(gws.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil || m.Replicas != 3 || len(m.PerReplica) != 3 {
+		t.Fatalf("JSON metrics decode: %v, %+v", err, m)
+	}
+}

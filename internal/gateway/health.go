@@ -1,0 +1,219 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"distmincut/internal/chaos"
+)
+
+// replicaState classifies one replica for routing. The prober is the
+// only writer; handlers read it to pick candidates.
+type replicaState int
+
+const (
+	// stateHealthy: ready — accepts new submissions.
+	stateHealthy replicaState = iota
+	// stateSaturated: alive but its queue is at 100% fill. No new
+	// routes, but it still serves polls, results, and its own queue.
+	stateSaturated
+	// stateDraining: alive and shutting down. No new routes; running
+	// jobs finish there, queued jobs are replayed elsewhere.
+	stateDraining
+	// stateDown: ejected after consecutive probe transport failures.
+	// Skipped entirely; re-probed on exponential backoff.
+	stateDown
+)
+
+func (s replicaState) String() string {
+	switch s {
+	case stateHealthy:
+		return "healthy"
+	case stateSaturated:
+		return "saturated"
+	case stateDraining:
+		return "draining"
+	default:
+		return "down"
+	}
+}
+
+// replica is one backend's identity plus its prober-owned health
+// state.
+type replica struct {
+	name string
+	base string // base URL, no trailing slash
+
+	mu        sync.Mutex
+	state     replicaState
+	reason    string        // replica-reported readiness reason, if any
+	fails     int           // consecutive probe transport failures
+	backoff   time.Duration // current ejection re-probe delay
+	nextProbe time.Time     // earliest re-probe while down
+}
+
+// routable reports whether new submissions may be sent here.
+func (r *replica) routable() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state == stateHealthy
+}
+
+// alive reports whether reads (polls, results, traces) may be sent
+// here: everything short of ejected.
+func (r *replica) alive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state != stateDown
+}
+
+// prober is the background health loop: one sweep every
+// HealthInterval until Close.
+func (g *Gateway) prober() {
+	defer close(g.proberDone)
+	t := time.NewTicker(g.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.proberStop:
+			return
+		case <-t.C:
+			g.CheckNow()
+		}
+	}
+}
+
+// CheckNow sweeps one synchronous health probe over every replica,
+// applying ejections, reinstatements, and drain replays inline. The
+// background prober calls it on its tick; tests call it directly to
+// drive the health state machine deterministically.
+func (g *Gateway) CheckNow() {
+	now := time.Now()
+	for _, rep := range g.reps {
+		g.probeOne(rep, now)
+	}
+}
+
+// probeOne health-checks a single replica against its readiness
+// endpoint and folds the answer into the routing state.
+func (g *Gateway) probeOne(rep *replica, now time.Time) {
+	rep.mu.Lock()
+	if rep.state == stateDown && now.Before(rep.nextProbe) {
+		rep.mu.Unlock()
+		return
+	}
+	rep.mu.Unlock()
+
+	chaos.Inject(chaos.SiteGatewayProbe)
+	ctx, cancel := context.WithTimeout(context.Background(), g.opts.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base+"/healthz?check=ready", nil)
+	if err != nil {
+		g.probeFailed(rep)
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.probeFailed(rep)
+		return
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		g.markHealthy(rep)
+	case http.StatusServiceUnavailable:
+		var hb struct {
+			Ready  bool   `json:"ready"`
+			Reason string `json:"reason"`
+		}
+		_ = json.Unmarshal(data, &hb)
+		g.markUnready(rep, hb.Reason)
+	default:
+		// A liveness endpoint answering anything else is not a mincutd
+		// replica in a known state; treat it as a failed probe.
+		g.probeFailed(rep)
+	}
+}
+
+// markHealthy records a ready probe: the replica (re)joins the
+// routable set and its failure accounting resets.
+func (g *Gateway) markHealthy(rep *replica) {
+	rep.mu.Lock()
+	wasDown := rep.state == stateDown
+	changed := rep.state != stateHealthy
+	rep.state = stateHealthy
+	rep.reason = ""
+	rep.fails = 0
+	rep.backoff = 0
+	rep.mu.Unlock()
+	if wasDown {
+		g.m.rep(rep.name).reinstatements.Add(1)
+	}
+	if changed {
+		g.log.Info("replica healthy", "replica", rep.name)
+	}
+}
+
+// markUnready records an alive-but-not-ready probe (HTTP 503 from the
+// readiness check): the replica leaves the routable set but keeps
+// serving reads. A reason of "draining" marks a rolling restart and
+// triggers the queued-job replay once, on the transition.
+func (g *Gateway) markUnready(rep *replica, reason string) {
+	newState := stateSaturated
+	if reason == "draining" {
+		newState = stateDraining
+	}
+	rep.mu.Lock()
+	wasDown := rep.state == stateDown
+	prev := rep.state
+	rep.state = newState
+	rep.reason = reason
+	rep.fails = 0
+	rep.backoff = 0
+	rep.mu.Unlock()
+	if wasDown {
+		g.m.rep(rep.name).reinstatements.Add(1)
+	}
+	if newState == stateDraining && prev != stateDraining {
+		g.log.Info("replica draining, replaying its queued jobs", "replica", rep.name)
+		g.replayDraining(rep)
+	} else if prev != newState {
+		g.log.Info("replica not ready", "replica", rep.name, "reason", reason)
+	}
+}
+
+// probeFailed records a probe transport failure. EjectAfter
+// consecutive failures eject the replica (its in-flight jobs are
+// replayed); while down, each further failure doubles the re-probe
+// backoff up to ReinstateMax.
+func (g *Gateway) probeFailed(rep *replica) {
+	eject := false
+	rep.mu.Lock()
+	if rep.state == stateDown {
+		rep.backoff *= 2
+		if rep.backoff > g.opts.ReinstateMax {
+			rep.backoff = g.opts.ReinstateMax
+		}
+		rep.nextProbe = time.Now().Add(rep.backoff)
+	} else {
+		rep.fails++
+		if rep.fails >= g.opts.EjectAfter {
+			rep.state = stateDown
+			rep.reason = "unreachable"
+			rep.backoff = g.opts.ReinstateBase
+			rep.nextProbe = time.Now().Add(rep.backoff)
+			eject = true
+		}
+	}
+	rep.mu.Unlock()
+	if eject {
+		g.m.rep(rep.name).ejections.Add(1)
+		g.log.Warn("replica ejected", "replica", rep.name, "after_failures", g.opts.EjectAfter)
+		g.replayDown(rep)
+	}
+}

@@ -1,0 +1,89 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over replica indices. Each replica
+// owns vnodes points on a 64-bit circle; a key routes to the replica
+// owning the first point at or after the key's hash. Consistency is
+// the property the gateway leans on: adding or removing one replica
+// remaps only the keys that replica owned, so a rolling restart never
+// reshuffles the whole cache-locality assignment.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // replica count
+}
+
+// ringPoint is one virtual node: a position on the circle and the
+// index of the replica that owns it.
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// hash64 maps a string onto the circle. SHA-256 truncated to 64 bits:
+// routing runs once per request, so a cryptographic hash's uniformity
+// (good virtual-node balance, no engineered collisions from uploaded
+// specs) is worth its nanoseconds.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring for n replicas with vnodes points each.
+// Points hash the replica *index*, not its URL, so the assignment is a
+// pure function of (position in the -replicas list, vnodes) — two
+// gateways configured with the same ordered replica list route
+// identically, which is what lets a restarted or scaled-out front tier
+// keep the same key→replica map.
+func newRing(n, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, n*vnodes), n: n}
+	for i := 0; i < n; i++ {
+		for v := 0; v < vnodes; v++ {
+			h := hash64("replica-" + strconv.Itoa(i) + "#" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].idx < r.points[b].idx
+	})
+	return r
+}
+
+// sequence returns every replica index in ring-successor order from
+// key's position: element 0 is the key's owner, element 1 the replica
+// a failed attempt falls over to, and so on. The walk visits each
+// replica once.
+func (r *ring) sequence(key string) []int {
+	out := make([]int, 0, r.n)
+	if r.n == 0 {
+		return out
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, r.n)
+	for i := 0; len(out) < r.n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}
+
+// owner returns the key's primary replica index.
+func (r *ring) owner(key string) int {
+	seq := r.sequence(key)
+	if len(seq) == 0 {
+		return -1
+	}
+	return seq[0]
+}

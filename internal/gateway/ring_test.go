@@ -1,0 +1,71 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a := newRing(5, 64)
+	b := newRing(5, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		sa, sb := a.sequence(key), b.sequence(key)
+		if len(sa) != len(sb) {
+			t.Fatalf("sequence lengths differ for %q: %d vs %d", key, len(sa), len(sb))
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("rings disagree for %q at %d: %v vs %v", key, j, sa, sb)
+			}
+		}
+	}
+}
+
+func TestRingSequenceIsPermutation(t *testing.T) {
+	r := newRing(7, 32)
+	for i := 0; i < 50; i++ {
+		seq := r.sequence(fmt.Sprintf("k%d", i))
+		if len(seq) != 7 {
+			t.Fatalf("sequence has %d entries, want 7: %v", len(seq), seq)
+		}
+		seen := make(map[int]bool)
+		for _, idx := range seq {
+			if idx < 0 || idx >= 7 {
+				t.Fatalf("out-of-range replica index %d", idx)
+			}
+			if seen[idx] {
+				t.Fatalf("replica %d repeated in %v", idx, seq)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const replicas, keys = 5, 10000
+	r := newRing(replicas, 64)
+	counts := make([]int, replicas)
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("spec-%d", i))]++
+	}
+	// With 64 vnodes each replica should land near keys/replicas; the
+	// assertion is loose (half to double the fair share) so the test
+	// pins gross imbalance, not the exact hash layout.
+	fair := keys / replicas
+	for i, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("replica %d owns %d of %d keys (fair share %d)", i, c, keys, fair)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := newRing(0, 64).sequence("x"); len(got) != 0 {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	one := newRing(1, 64)
+	if got := one.sequence("x"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-replica ring returned %v", got)
+	}
+}

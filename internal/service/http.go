@@ -19,7 +19,7 @@ const DefaultMaxBody int64 = 64 << 20
 //	GET    /v1/jobs/{id}/trace  the job's timeline as Chrome trace-event JSON
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/results/{key}    canonical result bytes by content address
-//	GET    /healthz             liveness plus build identity
+//	GET    /healthz             liveness plus build identity (?check=ready flips to 503 while draining or saturated)
 //	GET    /metrics             Prometheus text format (?format=json for the JSON snapshot)
 //
 // Submissions whose canonical spec matches an in-flight computation
@@ -170,14 +170,35 @@ func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
-func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
+// handleHealth serves liveness and readiness from one endpoint,
+// backward compatible with the original /healthz shape. The plain GET
+// is the liveness probe: it answers 200 whenever the process serves
+// HTTP — including all the way through a drain — and its body now
+// additionally carries ready/reason/replica next to the build identity.
+// With ?check=ready the same body comes back with status 503 whenever
+// the service is not accepting new submissions (draining, or the queue
+// at 100% fill), which is the probe a gateway health-checks.
+func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
 	b := ReadBuild()
-	writeJSON(w, http.StatusOK, map[string]string{
+	ready, reason := a.svc.Ready()
+	body := map[string]any{
 		"status":  "ok",
+		"ready":   ready,
 		"version": b.Version,
 		"commit":  b.Commit,
 		"go":      b.GoVersion,
-	})
+	}
+	if reason != "" {
+		body["reason"] = reason
+	}
+	if rep := a.svc.Replica(); rep != "" {
+		body["replica"] = rep
+	}
+	status := http.StatusOK
+	if !ready && r.URL.Query().Get("check") == "ready" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -183,6 +183,13 @@ type Options struct {
 	// congest.DefaultFlightRounds; negative disables the recorder (runs
 	// observe nothing, traces of aborted jobs carry no round tail).
 	FlightRounds int
+	// Replica names this service instance in a multi-replica
+	// deployment. It is incidental identity, never job identity: it
+	// appears on JobView.Replica and in /healthz so a gateway or client
+	// can tell which instance answered, and is deliberately absent from
+	// the canonical Result bytes, which stay byte-identical across
+	// replicas. Empty means single-instance (the field is omitted).
+	Replica string
 }
 
 func (o Options) withDefaults() Options {
@@ -322,6 +329,11 @@ type JobView struct {
 	// runs and final totals once it is done.
 	Rounds    int64 `json:"rounds"`
 	Delivered int64 `json:"delivered"`
+	// Replica names the service instance that owns this job record
+	// (Options.Replica); empty on single-instance deployments. A
+	// gateway rewrites the job ID it hands clients but leaves this
+	// field as the upstream's identity.
+	Replica string `json:"replica,omitempty"`
 	// SetupNs is the wall time the completed run spent in engine setup
 	// (congest.Stats.SetupNanos): a cold worker pays slab allocation
 	// here, a warm one near nothing, so the field makes per-worker
@@ -867,6 +879,7 @@ func (s *Service) viewLocked(j *job) JobView {
 		State:     j.state,
 		CacheHit:  j.cacheHit,
 		Error:     j.err,
+		Replica:   s.opts.Replica,
 		CreatedAt: j.created,
 	}
 	if j.progress != nil {
@@ -953,21 +966,55 @@ func (s *Service) Metrics() Metrics {
 	return m
 }
 
-// Shutdown drains the service: no new submissions are accepted, queued
-// and running jobs are given until ctx is done to finish, then every
-// remaining run is canceled. Always returns after the pool has exited;
-// the error is ctx's if the deadline forced cancellation.
-func (s *Service) Shutdown(ctx context.Context) error {
+// Ready reports whether the service is accepting new submissions, with
+// a machine-readable reason when it is not ("draining" once a drain has
+// begun, "queue full" while the queue is at 100% fill). Liveness and
+// readiness are distinct: a draining instance is alive — it answers
+// polls and finishes running jobs — but not ready, which is the signal
+// a gateway uses to stop routing new work to it.
+func (s *Service) Ready() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, "draining"
+	}
+	if len(s.queue) == cap(s.queue) {
+		return false, "queue full"
+	}
+	return true, ""
+}
+
+// Replica returns this instance's configured replica identity
+// (Options.Replica); empty on single-instance deployments.
+func (s *Service) Replica() string { return s.opts.Replica }
+
+// BeginDrain flips the service into the draining state without waiting:
+// Ready() reports false, Submit returns ErrClosed, and queued plus
+// running jobs keep executing. Idempotent. It is the first half of
+// Shutdown, split out so a server can stop accepting work while its
+// HTTP listener stays up — a gateway observes readiness go false,
+// drains routes away, and clients keep polling in-flight jobs until
+// Shutdown completes the drain.
+func (s *Service) BeginDrain() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil
+		return
 	}
 	s.closed = true
 	close(s.queue) // safe: sends happen only under mu with closed checked
 	s.mu.Unlock()
 	s.log.Info("draining", "running", s.running.Load())
 	chaos.Inject(chaos.SiteDrain)
+}
+
+// Shutdown drains the service: no new submissions are accepted, queued
+// and running jobs are given until ctx is done to finish, then every
+// remaining run is canceled. Always returns after the pool has exited;
+// the error is ctx's if the deadline forced cancellation. Callable
+// after BeginDrain (it completes the drain) and idempotent.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
 
 	done := make(chan struct{})
 	go func() {

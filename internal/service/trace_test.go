@@ -333,14 +333,17 @@ func TestTraceHTTPEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer hz.Body.Close()
-	var health map[string]string
+	var health map[string]any
 	if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
 	for _, k := range []string{"status", "version", "commit", "go"} {
-		if health[k] == "" {
+		if s, _ := health[k].(string); s == "" {
 			t.Errorf("healthz missing %q: %v", k, health)
 		}
+	}
+	if ready, ok := health["ready"].(bool); !ok || !ready {
+		t.Errorf("healthz ready = %v, want true on an idle server", health["ready"])
 	}
 }
 
