@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-chaos vet fmt-check docs-check bench bench-service bench-gate ci
+.PHONY: build test test-short test-chaos fuzz-smoke vet fmt-check docs-check bench bench-service bench-gate ci
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,20 @@ test:
 	$(GO) test ./...
 
 # The fast gate CI runs on every push: race-enabled, with the slow
-# experiment-suite tests skipped via testing.Short.
+# experiment-suite tests skipped via testing.Short. -shuffle=on
+# randomizes test (and package-level subtest) execution order so
+# order-dependent tests fail here before they flake anywhere else; the
+# shuffle seed is printed on failure for local reproduction.
 test-short:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -shuffle=on ./...
+
+# fuzz-smoke runs each fuzz target for a short bounded burst — long
+# enough to exercise the mutator on the seed corpus, short enough for
+# every CI push. The full targets can run indefinitely with a larger
+# -fuzztime.
+fuzz-smoke:
+	$(GO) test ./internal/service -run '^$$' -fuzz FuzzCanonicalRequest -fuzztime 30s
+	$(GO) test . -run '^$$' -fuzz FuzzSpans -fuzztime 30s
 
 # test-chaos compiles the fault-injection sites live (-tags chaos) and
 # runs the chaos suite plus the service tests under the race detector:
@@ -47,11 +58,15 @@ fmt-check:
 # out of the regression gate by the benchjson -match default.
 # BenchmarkApproxMillion and BenchmarkBracketMillion are the serving
 # tiers at the same scale: the (1+ε) tier under the default τ policy
-# and the sampled-connectivity bracket tier.
+# and the sampled-connectivity bracket tier. The BenchmarkEngineStep*
+# rows are the compiled step-machine twins of the exchange workloads
+# (BenchmarkEngineMillionStep* at the million scale); benchjson's
+# default -match gates the step expander rows alongside the goroutine
+# ones.
 # No pipe here: a panicking benchmark must fail the target, and `go
 # test | tee` would hide its exit status under sh (no pipefail).
 bench: bench-service
-	$(GO) test ./internal/congest -run '^$$' -bench 'BenchmarkEngine(Path|Expander|Community)' -benchmem -count 3 > BENCH_engine.txt
+	$(GO) test ./internal/congest -run '^$$' -bench 'BenchmarkEngine(Path|Expander|Community|Step)' -benchmem -count 3 > BENCH_engine.txt
 	$(GO) test ./internal/congest -run '^$$' -bench BenchmarkEngineMillion -benchmem -benchtime 1x -count 1 >> BENCH_engine.txt
 	$(GO) test . -run '^$$' -bench 'Benchmark(Pipeline|Approx|Bracket)Million' -benchmem -benchtime 1x -count 1 -timeout 150m >> BENCH_engine.txt
 	@cat BENCH_engine.txt

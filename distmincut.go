@@ -190,9 +190,11 @@ func (o Options) engineOpts(ctx context.Context) congest.Options {
 	}
 }
 
-// runSim executes one distributed program, on the caller's reusable
-// engine when Options.Engine is set and on a one-shot engine otherwise.
-func (o Options) runSim(ctx context.Context, g *graph.Graph, program func(*congest.Node)) (*congest.Stats, error) {
+// runSim executes one distributed program — a blocking
+// func(*congest.Node) or a compiled congest.StepProgram; the engine
+// dispatches on the dynamic type — on the caller's reusable engine when
+// Options.Engine is set and on a one-shot engine otherwise.
+func (o Options) runSim(ctx context.Context, g *graph.Graph, program congest.Program) (*congest.Stats, error) {
 	eo := o.engineOpts(ctx)
 	if o.Engine != nil {
 		o.Engine.SetOptions(eo)

@@ -445,3 +445,349 @@ func TestWorkersBoundConcurrency(t *testing.T) {
 		t.Fatalf("observed %d concurrently running programs with Workers=1", p)
 	}
 }
+
+// ---------------------------------------------------------------------
+// Differential determinism: the compiled step path vs the goroutine
+// path. For every program ported to step form, the two executions must
+// be bit-identical — same Stats, same marks — on every generator family
+// and execution mode. The protocol-level half of this layer (BFS and
+// the step collectives vs their blocking twins) lives in
+// internal/proto/step_diff_test.go.
+
+// stepChatter is the step twin of chatterProgram: the same RNG draws in
+// the same order, the same sends, the same park points. Any divergence
+// in scheduling between the two paths shows up as a Stats mismatch.
+type stepChatter struct {
+	st []stepChatterState
+}
+
+type stepChatterState struct {
+	pc      int
+	markers int
+}
+
+func (c *stepChatter) InitRun(n int) {
+	if cap(c.st) < n {
+		c.st = make([]stepChatterState, n)
+	} else {
+		c.st = c.st[:n]
+		for i := range c.st {
+			c.st[i] = stepChatterState{}
+		}
+	}
+}
+
+func (c *stepChatter) Step(nd *Node) Park {
+	const (
+		kData  uint8 = 3
+		kClose uint8 = 4
+	)
+	st := &c.st[nd.ID()]
+	for {
+		switch st.pc {
+		case 0:
+			reps := 1 + nd.Rand().Intn(4)
+			for i := 0; i < reps; i++ {
+				nd.SendAll(Message{Kind: kData, Tag: uint32(i), A: int64(nd.ID())})
+			}
+			st.pc = 1
+			if nd.Rand().Intn(2) == 0 {
+				return ParkSleep(1 + nd.Rand().Intn(3))
+			}
+		case 1:
+			nd.SendAll(Message{Kind: kClose})
+			st.pc = 2
+		case 2:
+			for st.markers < nd.Degree() {
+				_, m, ok := nd.StepRecv(MatchAny)
+				if !ok {
+					return ParkRecv(MatchAny)
+				}
+				if m.Kind == kClose {
+					st.markers++
+				}
+			}
+			return ParkDone()
+		}
+	}
+}
+
+// phasedProgram is a two-phase exchange whose phase boundaries node 0
+// records as begin:/end: marks, with a sleep separating the phases — a
+// miniature of how the pipeline instruments its steps.
+func phasedProgram(nd *Node) {
+	if nd.ID() == 0 {
+		nd.Mark("begin:exchange")
+	}
+	nd.SendAll(Message{Kind: kindData})
+	for i := 0; i < nd.Degree(); i++ {
+		nd.Recv(MatchKind(kindData))
+	}
+	if nd.ID() == 0 {
+		nd.Mark("end:exchange")
+	}
+	nd.Sleep(2)
+	if nd.ID() == 0 {
+		nd.Mark("begin:echo")
+	}
+	nd.SendAll(Message{Kind: kindToken})
+	for i := 0; i < nd.Degree(); i++ {
+		nd.Recv(MatchKind(kindToken))
+	}
+	if nd.ID() == 0 {
+		nd.Mark("end:echo")
+	}
+}
+
+// stepPhased is phasedProgram in step form: same sends, same marks at
+// the same points, same park structure.
+type stepPhased struct {
+	st []stepPhasedState
+}
+
+type stepPhasedState struct {
+	pc  int
+	got int
+}
+
+func (c *stepPhased) InitRun(n int) {
+	if cap(c.st) < n {
+		c.st = make([]stepPhasedState, n)
+	} else {
+		c.st = c.st[:n]
+		for i := range c.st {
+			c.st[i] = stepPhasedState{}
+		}
+	}
+}
+
+func (c *stepPhased) Step(nd *Node) Park {
+	st := &c.st[nd.ID()]
+	for {
+		switch st.pc {
+		case 0:
+			if nd.ID() == 0 {
+				nd.Mark("begin:exchange")
+			}
+			nd.SendAll(Message{Kind: kindData})
+			st.pc = 1
+		case 1:
+			for st.got < nd.Degree() {
+				if _, _, ok := nd.StepRecv(MatchKind(kindData)); !ok {
+					return ParkRecv(MatchKind(kindData))
+				}
+				st.got++
+			}
+			if nd.ID() == 0 {
+				nd.Mark("end:exchange")
+			}
+			st.pc = 2
+			return ParkSleep(2)
+		case 2:
+			if nd.ID() == 0 {
+				nd.Mark("begin:echo")
+			}
+			nd.SendAll(Message{Kind: kindToken})
+			st.got = 0
+			st.pc = 3
+		case 3:
+			for st.got < nd.Degree() {
+				if _, _, ok := nd.StepRecv(MatchKind(kindToken)); !ok {
+					return ParkRecv(MatchKind(kindToken))
+				}
+				st.got++
+			}
+			if nd.ID() == 0 {
+				nd.Mark("end:echo")
+			}
+			return ParkDone()
+		}
+	}
+}
+
+// fullKey extends statsKey with the dirty-node count and the normalized
+// mark stream (label, round, node, delivered — everything but the
+// wall-clock field).
+type fullKey struct {
+	statsKey
+	dirty int
+	marks string
+}
+
+func fullKeyOf(t *testing.T, s *Stats) fullKey {
+	t.Helper()
+	var b []byte
+	for _, m := range s.Marks {
+		b = append(b, []byte(m.Label)...)
+		b = append(b, '@')
+		b = appendInts(b, m.Round, int(m.Node), int(m.Delivered))
+	}
+	return fullKey{statsKey: keyOf(s), dirty: s.DirtyNodes, marks: string(b)}
+}
+
+func appendInts(b []byte, vals ...int) []byte {
+	for _, v := range vals {
+		if v < 0 {
+			b = append(b, '-')
+			v = -v
+		}
+		var tmp [20]byte
+		i := len(tmp)
+		for {
+			i--
+			tmp[i] = byte('0' + v%10)
+			v /= 10
+			if v == 0 {
+				break
+			}
+		}
+		b = append(b, tmp[i:]...)
+		b = append(b, ';')
+	}
+	return b
+}
+
+// stepDiffModes are the execution configurations the two paths are
+// compared under.
+func stepDiffModes() map[string]Options {
+	return map[string]Options{
+		"serial":    {Seed: 42, DeliveryShards: -1},
+		"workers-2": {Seed: 42, Workers: 2, DeliveryShards: -1},
+		"shards-3":  {Seed: 42, DeliveryShards: 3},
+	}
+}
+
+// TestStepDifferentialChatter: the RNG-driven chatter workload must be
+// bit-identical between the goroutine and step paths on every family
+// and mode — including the per-node RNG draw sequence, sleeps, and the
+// selective-receive drain.
+func TestStepDifferentialChatter(t *testing.T) {
+	for fam, g := range determinismFamilies() {
+		for mode, opts := range stepDiffModes() {
+			t.Run(fam+"/"+mode, func(t *testing.T) {
+				bs, err := Run(g, opts, chatterProgram)
+				if err != nil {
+					t.Fatalf("goroutine path: %v", err)
+				}
+				ss, err := Run(g, opts, &stepChatter{})
+				if err != nil {
+					t.Fatalf("step path: %v", err)
+				}
+				if got, want := fullKeyOf(t, ss), fullKeyOf(t, bs); got != want {
+					t.Fatalf("step path diverged: got %+v, want %+v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestStepDifferentialMarks: the phased, mark-recording workload must
+// produce the identical mark stream — labels, rounds, delivered counts
+// — on both paths.
+func TestStepDifferentialMarks(t *testing.T) {
+	for fam, g := range determinismFamilies() {
+		for mode, opts := range stepDiffModes() {
+			t.Run(fam+"/"+mode, func(t *testing.T) {
+				bs, err := Run(g, opts, phasedProgram)
+				if err != nil {
+					t.Fatalf("goroutine path: %v", err)
+				}
+				ss, err := Run(g, opts, &stepPhased{})
+				if err != nil {
+					t.Fatalf("step path: %v", err)
+				}
+				if bs.Marks == nil || len(bs.Marks) != 4 {
+					t.Fatalf("expected 4 marks, got %v", bs.Marks)
+				}
+				if got, want := fullKeyOf(t, ss), fullKeyOf(t, bs); got != want {
+					t.Fatalf("step path diverged: got %+v, want %+v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestStepWarmEngineAlternatingModes: one retained engine alternating
+// goroutine and step programs run-over-run must reproduce the fresh
+// fingerprints every time — neither path's warm-state shortcuts
+// (phase staleness, wake-channel slabs, program state slabs) may leak
+// into the other.
+func TestStepWarmEngineAlternatingModes(t *testing.T) {
+	g := graph.RandomRegular(64, 6, 11)
+	opts := Options{Seed: 42}
+	bs, err := Run(g, opts, chatterProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := Run(g, opts, &stepChatter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fullKeyOf(t, bs)
+	if got := fullKeyOf(t, ss); got != want {
+		t.Fatalf("fresh step run diverged: got %+v, want %+v", got, want)
+	}
+	eng := NewEngine(opts)
+	defer eng.Close()
+	step := &stepChatter{}
+	for rep := 0; rep < 6; rep++ {
+		var stats *Stats
+		var err error
+		if rep%2 == 0 {
+			stats, err = eng.Run(g, chatterProgram)
+		} else {
+			stats, err = eng.Run(g, step)
+		}
+		if err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		if got := fullKeyOf(t, stats); got != want {
+			t.Fatalf("rep %d diverged: got %+v, want %+v", rep, got, want)
+		}
+	}
+}
+
+// TestStepReusedEngineAfterAbort: aborted step runs (deadlock, panic
+// mid-traffic) must not poison a retained engine for either path.
+func TestStepReusedEngineAfterAbort(t *testing.T) {
+	g := graph.RandomRegular(64, 6, 11)
+	opts := Options{Seed: 42}
+	fresh, err := Run(g, opts, chatterProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fullKeyOf(t, fresh)
+	eng := NewEngine(opts)
+	defer eng.Close()
+	// Step deadlock: every node parks in Recv with no traffic.
+	deadlock := &stepFuncProgram{step: func(nd *Node) Park { return ParkRecv(MatchAny) }}
+	if _, err := eng.Run(g, deadlock); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	stats, err := eng.Run(g, chatterProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fullKeyOf(t, stats); got != want {
+		t.Fatalf("goroutine run after step deadlock diverged: got %+v, want %+v", got, want)
+	}
+	// Step panic mid-traffic leaves staged messages behind; a step rerun
+	// must still match.
+	bomber := &stepFuncProgram{step: func(nd *Node) Park {
+		nd.SendAll(Message{Kind: kindData})
+		if nd.ID() == 3 {
+			panic("step boom")
+		}
+		return ParkRecv(MatchKind(kindData))
+	}}
+	if _, err := eng.Run(g, bomber); err == nil {
+		t.Fatal("expected panic error")
+	}
+	stats, err = eng.Run(g, &stepChatter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fullKeyOf(t, stats); got != want {
+		t.Fatalf("step run after step panic diverged: got %+v, want %+v", got, want)
+	}
+}

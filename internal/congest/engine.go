@@ -213,10 +213,14 @@ func (e *PanicError) Error() string {
 // (4) dispatches it — either waking every node at once or releasing
 // Options.Workers lane permits that parking nodes chain forward.
 type Engine struct {
-	g       *graph.Graph
-	opts    Options
-	program func(*Node)
-	nodes   []*Node
+	g    *graph.Graph
+	opts Options
+	// Exactly one of program / stepProg is set per run, from Run's
+	// dispatch on the Program's dynamic type: program hosts the blocking
+	// goroutine path, stepProg the compiled step path (see step.go).
+	program  func(*Node)
+	stepProg StepProgram
+	nodes    []*Node
 
 	round     int
 	delivered int64
@@ -359,6 +363,13 @@ type deliveryShard struct {
 	lo, hi int
 	wake   []*Node
 
+	// Step-dispatch state (step programs only): the [stepLo, stepHi)
+	// chunk of the current wake list this shard activates, and the
+	// sleep/done notifications its activations produced (merged by the
+	// coordinator in shard order, like wake sublists).
+	stepLo, stepHi int
+	stepNotified   []*Node
+
 	// nanos is the shard's self-measured delivery wall time for the
 	// current round; written only when the engine's observer timing is
 	// armed.
@@ -372,6 +383,7 @@ type shardTask uint8
 const (
 	taskDeliver shardTask = iota
 	taskMatch
+	taskStep
 )
 
 // maxPreallocMessages caps the per-run message slab (in messages, 40 B
@@ -509,22 +521,37 @@ func (e *Engine) Close() {
 
 // Run simulates program on every node of g and returns run statistics.
 // The graph must be connected and have deterministic port numbering
-// (generators call SortAdjacency; see graph docs). One-shot form of
-// (*Engine).Run; see Engine for the reusable lifecycle.
-func Run(g *graph.Graph, opts Options, program func(*Node)) (*Stats, error) {
+// (generators call SortAdjacency; see graph docs). The program is
+// either a blocking func(*Node) or a compiled StepProgram (see
+// Program). One-shot form of (*Engine).Run; see Engine for the
+// reusable lifecycle.
+func Run(g *graph.Graph, opts Options, program Program) (*Stats, error) {
 	e := NewEngine(opts)
 	defer e.Close()
 	return e.Run(g, program)
 }
 
-// Run executes program on every node of g. Stats are bit-identical to
-// a fresh engine's for the same graph, options, and seed — reuse never
-// leaks state between runs. The graph must not be mutated between runs
-// that share it.
-func (e *Engine) Run(g *graph.Graph, program func(*Node)) (*Stats, error) {
+// Run executes program — a blocking func(*Node) or a compiled
+// StepProgram (see Program) — on every node of g. Stats are
+// bit-identical to a fresh engine's for the same graph, options, and
+// seed — reuse never leaks state between runs, and an engine may
+// alternate freely between blocking and step programs. The graph must
+// not be mutated between runs that share it.
+func (e *Engine) Run(g *graph.Graph, program Program) (*Stats, error) {
 	start := time.Now()
 	e.runStart = start
-	e.setupRun(g, program)
+	switch p := program.(type) {
+	case func(*Node):
+		e.program, e.stepProg = p, nil
+	case StepProgram:
+		e.program, e.stepProg = nil, p
+	default:
+		return nil, fmt.Errorf("congest: program must be a func(*congest.Node) or a congest.StepProgram, got %T", program)
+	}
+	e.setupRun(g)
+	if e.stepProg != nil {
+		e.stepProg.InitRun(g.N())
+	}
 	e.setupNanos = time.Since(start).Nanoseconds()
 	err := e.coordinate()
 	e.termWG.Wait()
@@ -540,6 +567,9 @@ func (e *Engine) Run(g *graph.Graph, program func(*Node)) (*Stats, error) {
 		// everything next time rather than trusting the dirty list.
 		e.needFullInit = true
 	}
+	// Drop the program references so a retained engine does not pin the
+	// caller's closures or state slabs between runs.
+	e.program, e.stepProg = nil, nil
 	return stats, err
 }
 
@@ -548,9 +578,8 @@ func (e *Engine) Run(g *graph.Graph, program func(*Node)) (*Stats, error) {
 // slabs, and node structs — first run, new graph, or after an abort —
 // or the warm path, which resets only the queues the previous run
 // dirtied.
-func (e *Engine) setupRun(g *graph.Graph, program func(*Node)) {
+func (e *Engine) setupRun(g *graph.Graph) {
 	n := g.N()
-	e.program = program
 	e.workers = e.opts.Workers
 	e.round = 0
 	e.delivered = 0
@@ -896,10 +925,15 @@ func (e *Engine) activate(nd *Node) {
 }
 
 // dispatch runs one activation of every node in wake and returns when
-// all of them have parked or exited. Direct mode activates every
-// scheduled node; lane mode releases one batch of Workers wake permits
-// and lets parking nodes chain the rest (see notifyPark).
+// all of them have parked or exited. Step programs run as direct calls
+// (see dispatchStep). For blocking programs, direct mode activates
+// every scheduled node; lane mode releases one batch of Workers wake
+// permits and lets parking nodes chain the rest (see notifyPark).
 func (e *Engine) dispatch(wake []*Node) {
+	if e.stepProg != nil {
+		e.dispatchStep(wake)
+		return
+	}
 	if len(wake) == 0 {
 		return
 	}
@@ -1185,6 +1219,8 @@ func (sh *deliveryShard) loop(tasks <-chan shardTask) {
 			sh.deliver()
 		case taskMatch:
 			sh.match()
+		case taskStep:
+			sh.stepRange()
 		}
 		sh.eng.shardDone <- struct{}{}
 	}
@@ -1363,11 +1399,15 @@ func (e *Engine) matches(nd *Node) bool {
 
 // abort wakes every parked node so its goroutine unwinds via the
 // errAborted panic and returns the causing error; never-activated
-// nodes have no goroutine to unwind. It must only be called from
-// coordinate, i.e. while every started node is parked; the caller
-// waits for the unwind via termWG.
+// nodes have no goroutine to unwind, and step programs have no
+// goroutines at all — their parked nodes are plain state and need no
+// teardown. It must only be called from coordinate, i.e. while every
+// started node is parked; the caller waits for the unwind via termWG.
 func (e *Engine) abort(cause error) error {
 	e.aborted.Store(true)
+	if e.stepProg != nil {
+		return cause
+	}
 	for _, nd := range e.nodes {
 		if nd.phase == phaseRecv || nd.phase == phaseSleep {
 			nd.wakeCh <- struct{}{}

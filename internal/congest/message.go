@@ -27,6 +27,31 @@
 // runnable at once, which keeps very large graphs from thrashing the
 // Go scheduler.
 //
+// # Compiled step programs
+//
+// The engine has a second execution mode for programs written as
+// explicit state machines: a value implementing StepProgram (instead
+// of a func(*Node)) is run by calling Step on each activated node and
+// acting on the returned Park — no goroutine, channel, or stack per
+// node. Run dispatches on the program's dynamic type, and both modes
+// share the same coordinator, sender registry, queues, wake-set
+// construction, observer hook, and warm-engine lifecycle, so a step
+// program that parks at the same points with the same predicates and
+// sends as a blocking program produces bit-identical Stats and marks.
+// That equivalence is enforced by the differential suites in
+// determinism_test.go (engine workloads) and
+// internal/proto/step_diff_test.go (BFS and the step collectives vs
+// their blocking twins). Large wake sets are stepped shard-parallel:
+// the wake list is split into contiguous chunks over the delivery-
+// shard workers, which is safe because Step touches only its own
+// node's state and program slabs are indexed by node ID. Step programs
+// use StepRecv (TryRecv plus the scheduler's match hint) and return
+// ParkRecv/ParkSleep/ParkDone; calling the blocking Recv or Sleep from
+// a step program panics. NewStepSeq chains step programs sequentially,
+// entering the next within the activation the previous one finishes —
+// the step analogue of a blocking program calling two protocols
+// back-to-back.
+//
 // # Engine reuse and lazy activation
 //
 // An Engine is a long-lived, reusable object: NewEngine(opts) creates

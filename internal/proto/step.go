@@ -1,0 +1,617 @@
+package proto
+
+import (
+	"sort"
+
+	"distmincut/internal/congest"
+	"distmincut/internal/graph"
+)
+
+// This file holds the compiled (step-machine) forms of the package's
+// protocols: BuildBFS and the collectives Flood, KeyedSum,
+// ConvergeItemVec, and ConvergeBroadcast re-expressed as
+// congest.StepPrograms that the engine drives as shard-parallel loops
+// over per-node state slabs (see congest.StepProgram). Each step form
+// reproduces its blocking twin's activation structure exactly — same
+// sends, same park predicates, same park points — so for the same
+// graph, seed, and options the two produce bit-identical Stats, marks,
+// and results. The differential suite in step_diff_test.go asserts
+// exactly that for every program in this file, across all generator
+// families and execution configurations.
+//
+// Step collectives read each node's overlay through an OverlaySource:
+// either the StepBFS that just built it (chained with
+// congest.NewStepSeq, entering the collective within the same
+// activation BFS finishes on that node — just as the blocking drivers
+// fall through from BuildBFS into a collective) or a FixedOverlays slab
+// for precomputed trees.
+
+// OverlaySource provides each node's rooted-tree overlay to a step
+// collective. Implementations must be safe for concurrent NodeOverlay
+// calls on distinct IDs.
+type OverlaySource interface {
+	NodeOverlay(id graph.NodeID) *Overlay
+}
+
+// FixedOverlays adapts a precomputed per-node overlay slab (indexed by
+// node ID) as an OverlaySource.
+type FixedOverlays []*Overlay
+
+// NodeOverlay returns the overlay of node id.
+func (f FixedOverlays) NodeOverlay(id graph.NodeID) *Overlay { return f[id] }
+
+// ---------------------------------------------------------------------
+// StepBFS
+
+type stepBFSPhase uint8
+
+const (
+	bfsStart    stepBFSPhase = iota // not yet activated
+	bfsAwait                        // non-root awaiting its first explore
+	bfsClosing                      // consuming one closing message per remaining port
+	bfsFinished                     // overlay complete
+)
+
+type stepBFSState struct {
+	pc          stepBFSPhase
+	ov          *Overlay
+	responded   []bool
+	expect, got int
+	match       congest.MatchFunc // predicate of the current phase
+}
+
+// StepBFS is the compiled form of BuildBFS: a breadth-first spanning
+// tree rooted at Root in O(D) rounds, with the same adoption rule
+// (first explorer wins, same-round ties to the lowest port), the same
+// exact per-edge message accounting, and the same begin:/end: bfs marks
+// from the root. After a run, NodeOverlay returns each node's overlay,
+// so a StepBFS doubles as the OverlaySource for the collectives chained
+// after it.
+type StepBFS struct {
+	root graph.NodeID
+	tag  uint32
+	st   []stepBFSState
+}
+
+// NewStepBFS returns a BFS-tree builder rooted at root using tag.
+func NewStepBFS(root graph.NodeID, tag uint32) *StepBFS {
+	return &StepBFS{root: root, tag: tag}
+}
+
+// InitRun resets the per-node state slab.
+func (b *StepBFS) InitRun(n int) {
+	if cap(b.st) < n {
+		b.st = make([]stepBFSState, n)
+	} else {
+		b.st = b.st[:n]
+		for i := range b.st {
+			b.st[i] = stepBFSState{}
+		}
+	}
+}
+
+// NodeOverlay returns node id's overlay; valid once that node's BFS
+// phase finished (in a StepSeq chain, any time a later sub-program
+// runs).
+func (b *StepBFS) NodeOverlay(id graph.NodeID) *Overlay { return b.st[id].ov }
+
+// Step advances one node's BFS state machine.
+func (b *StepBFS) Step(nd *congest.Node) congest.Park {
+	st := &b.st[nd.ID()]
+	for {
+		switch st.pc {
+		case bfsStart:
+			if nd.ID() == b.root {
+				nd.Mark("begin:bfs")
+			}
+			st.ov = &Overlay{ParentPort: -1}
+			st.responded = make([]bool, nd.Degree())
+			if nd.ID() == b.root {
+				st.ov.Root = true
+				for p := 0; p < nd.Degree(); p++ {
+					nd.Send(p, congest.Message{Kind: kindExplore, Tag: b.tag, A: 0})
+				}
+				b.enterClosing(nd, st)
+				continue
+			}
+			st.match = congest.MatchKindTag(kindExplore, b.tag)
+			st.pc = bfsAwait
+			continue
+		case bfsAwait:
+			p, m, ok := nd.StepRecv(st.match)
+			if !ok {
+				return congest.ParkRecv(st.match)
+			}
+			// Adopt the first explorer; same-round explorers are already
+			// buffered, so drain them to pick the lowest port.
+			st.ov.ParentPort = p
+			st.ov.Depth = int(m.A) + 1
+			st.responded[p] = true
+			for {
+				q, _, ok := nd.TryRecv(congest.MatchKindTag(kindExplore, b.tag))
+				if !ok {
+					break
+				}
+				st.responded[q] = true // same round, equidistant: not our child
+				if q < st.ov.ParentPort {
+					st.ov.ParentPort = q
+				}
+			}
+			nd.Send(st.ov.ParentPort, congest.Message{Kind: kindClaim, Tag: b.tag})
+			for p := 0; p < nd.Degree(); p++ {
+				if p != st.ov.ParentPort && !st.responded[p] {
+					nd.Send(p, congest.Message{Kind: kindExplore, Tag: b.tag, A: int64(st.ov.Depth)})
+				} else if p != st.ov.ParentPort {
+					// Equidistant neighbor: tell it we are not its child.
+					nd.Send(p, congest.Message{Kind: kindDecline, Tag: b.tag})
+				}
+			}
+			b.enterClosing(nd, st)
+			continue
+		case bfsClosing:
+			for st.got < st.expect {
+				p, m, ok := nd.StepRecv(st.match)
+				if !ok {
+					return congest.ParkRecv(st.match)
+				}
+				st.got++
+				if m.Kind == kindClaim {
+					st.ov.ChildPorts = append(st.ov.ChildPorts, p)
+				}
+			}
+			sort.Ints(st.ov.ChildPorts)
+			if nd.ID() == b.root {
+				nd.Mark("end:bfs")
+			}
+			st.pc = bfsFinished
+			return congest.ParkDone()
+		default:
+			return congest.ParkDone()
+		}
+	}
+}
+
+// enterClosing sets up the closing phase: consume exactly one message
+// per remaining port — a CLAIM (child), a DECLINE (a deeper neighbor
+// that chose another parent), or an EXPLORE (an equidistant neighbor) —
+// the same exact accounting as the blocking BuildBFS.
+func (b *StepBFS) enterClosing(nd *congest.Node, st *stepBFSState) {
+	st.expect = nd.Degree()
+	st.got = 0
+	if !st.ov.Root {
+		st.expect-- // parent port's explore was consumed during adoption
+		for p := range st.responded {
+			if st.responded[p] && p != st.ov.ParentPort {
+				st.got++ // non-chosen parent candidate: explore already consumed
+			}
+		}
+	}
+	tag := b.tag
+	st.match = func(_ int, m congest.Message) bool {
+		if m.Tag != tag {
+			return false
+		}
+		return m.Kind == kindClaim || m.Kind == kindDecline || m.Kind == kindExplore
+	}
+	st.pc = bfsClosing
+}
+
+// ---------------------------------------------------------------------
+// floodCore: the streaming flood state machine shared by StepFlood and
+// StepKeyedSum's distribution phase.
+
+type floodCore struct {
+	inited bool
+	done   bool
+	match  congest.MatchFunc
+	got    []Item
+}
+
+// step advances the flood by one activation: the root sends its whole
+// stream (items then end marker, per child) and finishes immediately;
+// every other node consumes its parent's stream, forwarding each item
+// and finally the end marker to its children — exactly the blocking
+// Flood. Returns done=true when the node's flood is complete (fc.got
+// then holds the stream); otherwise the Park to return.
+func (fc *floodCore) step(nd *congest.Node, ov *Overlay, tag uint32, rootItems []Item) (congest.Park, bool) {
+	if !fc.inited {
+		fc.inited = true
+		if ov.Root {
+			for _, c := range ov.ChildPorts {
+				for _, it := range rootItems {
+					nd.Send(c, congest.Message{Kind: kindItem, Tag: tag, A: it.A, B: it.B, C: it.C, D: it.D})
+				}
+				nd.Send(c, congest.Message{Kind: kindEnd, Tag: tag})
+			}
+			fc.got = rootItems
+			fc.done = true
+			return congest.Park{}, true
+		}
+		pp := ov.ParentPort
+		fc.match = func(p int, m congest.Message) bool {
+			return (m.Kind == kindItem || m.Kind == kindEnd) && m.Tag == tag && p == pp
+		}
+	}
+	for {
+		_, m, ok := nd.StepRecv(fc.match)
+		if !ok {
+			return congest.ParkRecv(fc.match), false
+		}
+		if m.Kind == kindEnd {
+			for _, c := range ov.ChildPorts {
+				nd.Send(c, congest.Message{Kind: kindEnd, Tag: tag})
+			}
+			fc.done = true
+			return congest.Park{}, true
+		}
+		fc.got = append(fc.got, Item{m.A, m.B, m.C, m.D})
+		for _, c := range ov.ChildPorts {
+			nd.Send(c, m)
+		}
+	}
+}
+
+// StepFlood is the compiled form of Flood: the root's item stream is
+// pipelined down the overlay in O(height + k) rounds; after the run
+// Got returns each node's received list (the root's own items at the
+// root), matching the blocking Flood's return value per node.
+type StepFlood struct {
+	src   OverlaySource
+	tag   uint32
+	items []Item // the root's stream
+	st    []floodCore
+}
+
+// NewStepFlood returns a flood of items (the root's stream) over the
+// overlays of src using tag.
+func NewStepFlood(src OverlaySource, tag uint32, items []Item) *StepFlood {
+	return &StepFlood{src: src, tag: tag, items: items}
+}
+
+// InitRun resets the per-node state slab.
+func (f *StepFlood) InitRun(n int) {
+	if cap(f.st) < n {
+		f.st = make([]floodCore, n)
+	} else {
+		f.st = f.st[:n]
+		for i := range f.st {
+			f.st[i] = floodCore{}
+		}
+	}
+}
+
+// Step advances one node's flood.
+func (f *StepFlood) Step(nd *congest.Node) congest.Park {
+	park, done := f.st[nd.ID()].step(nd, f.src.NodeOverlay(nd.ID()), f.tag, f.items)
+	if !done {
+		return park
+	}
+	return congest.ParkDone()
+}
+
+// Got returns the stream node id received (the root's own items at the
+// root), valid once that node's flood finished.
+func (f *StepFlood) Got(id graph.NodeID) []Item { return f.st[id].got }
+
+// ---------------------------------------------------------------------
+// StepConvergeBroadcast
+
+type cbPhase uint8
+
+const (
+	cbStart cbPhase = iota
+	cbConverge
+	cbAwaitBcast
+	cbFinished
+)
+
+type cbState struct {
+	pc    cbPhase
+	need  int // children still to deliver their aggregate
+	acc   int64
+	total int64
+	match congest.MatchFunc
+}
+
+// StepConvergeBroadcast is the compiled form of ConvergeBroadcast: one
+// word per node is aggregated at the root and the total broadcast back
+// in 2·height rounds, tags tag and tag+1. value provides each node's
+// input (called once per node per run); combine must be associative
+// and commutative. After the run, Total returns the global aggregate
+// (identical at every node).
+type StepConvergeBroadcast struct {
+	src     OverlaySource
+	tag     uint32
+	value   func(nd *congest.Node) int64
+	combine func(a, b int64) int64
+	st      []cbState
+}
+
+// NewStepConvergeBroadcast returns a converge+broadcast of each node's
+// value over the overlays of src using tags tag and tag+1.
+func NewStepConvergeBroadcast(src OverlaySource, tag uint32, value func(nd *congest.Node) int64, combine func(a, b int64) int64) *StepConvergeBroadcast {
+	return &StepConvergeBroadcast{src: src, tag: tag, value: value, combine: combine}
+}
+
+// InitRun resets the per-node state slab.
+func (c *StepConvergeBroadcast) InitRun(n int) {
+	if cap(c.st) < n {
+		c.st = make([]cbState, n)
+	} else {
+		c.st = c.st[:n]
+		for i := range c.st {
+			c.st[i] = cbState{}
+		}
+	}
+}
+
+// Total returns the global aggregate as seen by node id, valid once
+// that node finished.
+func (c *StepConvergeBroadcast) Total(id graph.NodeID) int64 { return c.st[id].total }
+
+// Step advances one node's converge+broadcast.
+func (c *StepConvergeBroadcast) Step(nd *congest.Node) congest.Park {
+	st := &c.st[nd.ID()]
+	ov := c.src.NodeOverlay(nd.ID())
+	for {
+		switch st.pc {
+		case cbStart:
+			st.acc = c.value(nd)
+			st.need = len(ov.ChildPorts)
+			tag := c.tag
+			st.match = func(p int, m congest.Message) bool {
+				return m.Kind == kindWord && m.Tag == tag && isChildPort(ov, p)
+			}
+			st.pc = cbConverge
+			continue
+		case cbConverge:
+			for st.need > 0 {
+				_, m, ok := nd.StepRecv(st.match)
+				if !ok {
+					return congest.ParkRecv(st.match)
+				}
+				st.acc = c.combine(st.acc, m.A)
+				st.need--
+			}
+			if ov.Root {
+				st.total = st.acc
+				for _, p := range ov.ChildPorts {
+					nd.Send(p, congest.Message{Kind: kindWord, Tag: c.tag + 1, A: st.total})
+				}
+				st.pc = cbFinished
+				return congest.ParkDone()
+			}
+			nd.Send(ov.ParentPort, congest.Message{Kind: kindWord, Tag: c.tag, A: st.acc})
+			bt := c.tag + 1
+			pp := ov.ParentPort
+			st.match = func(p int, m congest.Message) bool {
+				return m.Kind == kindWord && m.Tag == bt && p == pp
+			}
+			st.pc = cbAwaitBcast
+			continue
+		case cbAwaitBcast:
+			_, m, ok := nd.StepRecv(st.match)
+			if !ok {
+				return congest.ParkRecv(st.match)
+			}
+			st.total = m.A
+			for _, p := range ov.ChildPorts {
+				nd.Send(p, congest.Message{Kind: kindWord, Tag: c.tag + 1, A: st.total})
+			}
+			st.pc = cbFinished
+			return congest.ParkDone()
+		default:
+			return congest.ParkDone()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// StepConvergeItemVec
+
+type civState struct {
+	started bool
+	acc     []Item
+	j       int // current slot
+	left    int // children still to deliver slot j
+	tj      uint32
+	match   congest.MatchFunc
+}
+
+// StepConvergeItemVec is the compiled form of ConvergeItemVec: a
+// fixed-width item vector aggregated up the overlay in one pipelined
+// wave (slot j rides tag+j), O(height + k) rounds. mine provides each
+// node's vector (same globally agreed length everywhere); combine is
+// applied per slot. After the run, Acc returns a node's subtree
+// partials — the global totals at the root — matching the blocking
+// twin's return value per node.
+type StepConvergeItemVec struct {
+	src     OverlaySource
+	tag     uint32
+	mine    func(nd *congest.Node) []Item
+	combine func(slot int, a, b Item) Item
+	st      []civState
+}
+
+// NewStepConvergeItemVec returns a pipelined item-vector convergecast
+// over the overlays of src; tags [tag, tag+len(mine)) are consumed.
+func NewStepConvergeItemVec(src OverlaySource, tag uint32, mine func(nd *congest.Node) []Item, combine func(slot int, a, b Item) Item) *StepConvergeItemVec {
+	return &StepConvergeItemVec{src: src, tag: tag, mine: mine, combine: combine}
+}
+
+// InitRun resets the per-node state slab.
+func (c *StepConvergeItemVec) InitRun(n int) {
+	if cap(c.st) < n {
+		c.st = make([]civState, n)
+	} else {
+		c.st = c.st[:n]
+		for i := range c.st {
+			c.st[i] = civState{}
+		}
+	}
+}
+
+// Acc returns node id's aggregated vector (its subtree partials; the
+// global totals at the root), valid once that node finished.
+func (c *StepConvergeItemVec) Acc(id graph.NodeID) []Item { return c.st[id].acc }
+
+// Step advances one node's vector convergecast.
+func (c *StepConvergeItemVec) Step(nd *congest.Node) congest.Park {
+	st := &c.st[nd.ID()]
+	ov := c.src.NodeOverlay(nd.ID())
+	if !st.started {
+		st.started = true
+		st.acc = append([]Item(nil), c.mine(nd)...)
+		st.j = 0
+		st.left = len(ov.ChildPorts)
+		st.tj = c.tag
+		st.match = func(p int, m congest.Message) bool {
+			return m.Kind == kindItem && m.Tag == st.tj && isChildPort(ov, p)
+		}
+	}
+	for st.j < len(st.acc) {
+		for st.left > 0 {
+			_, m, ok := nd.StepRecv(st.match)
+			if !ok {
+				return congest.ParkRecv(st.match)
+			}
+			st.acc[st.j] = c.combine(st.j, st.acc[st.j], Item{m.A, m.B, m.C, m.D})
+			st.left--
+		}
+		if !ov.Root {
+			it := st.acc[st.j]
+			nd.Send(ov.ParentPort, congest.Message{Kind: kindItem, Tag: st.tj, A: it.A, B: it.B, C: it.C, D: it.D})
+		}
+		st.j++
+		st.tj = c.tag + uint32(st.j)
+		st.left = len(ov.ChildPorts)
+	}
+	return congest.ParkDone()
+}
+
+// ---------------------------------------------------------------------
+// StepKeyedSum
+
+type ksPhase uint8
+
+const (
+	ksStart ksPhase = iota
+	ksSlots
+	ksFlood
+	ksFinished
+)
+
+type ksState struct {
+	pc    ksPhase
+	sums  []int64
+	j     int // current slot
+	ci    int // index into ChildPorts for slot j
+	port  int // the child port currently awaited
+	match congest.MatchFunc
+	items []Item // root only: the totals to flood
+	fc    floodCore
+	res   map[int64]int64
+}
+
+// StepKeyedSum is the compiled form of KeyedSum: for a globally known
+// sorted key list, the per-key sums over all nodes are combined up the
+// tree slot-pipelined (O(height + k) rounds) and the totals flooded
+// back; tags tag and tag+1 are used. mine provides each node's
+// (key -> value) map. After the run, Sums returns the full totals map
+// at every node.
+type StepKeyedSum struct {
+	src  OverlaySource
+	tag  uint32
+	keys []int64
+	mine func(nd *congest.Node) map[int64]int64
+	st   []ksState
+}
+
+// NewStepKeyedSum returns a keyed aggregation of each node's map over
+// the overlays of src using tags tag and tag+1.
+func NewStepKeyedSum(src OverlaySource, tag uint32, keys []int64, mine func(nd *congest.Node) map[int64]int64) *StepKeyedSum {
+	return &StepKeyedSum{src: src, tag: tag, keys: keys, mine: mine}
+}
+
+// InitRun resets the per-node state slab.
+func (c *StepKeyedSum) InitRun(n int) {
+	if cap(c.st) < n {
+		c.st = make([]ksState, n)
+	} else {
+		c.st = c.st[:n]
+		for i := range c.st {
+			c.st[i] = ksState{}
+		}
+	}
+}
+
+// Sums returns the (key -> total) map as seen by node id, valid once
+// that node finished.
+func (c *StepKeyedSum) Sums(id graph.NodeID) map[int64]int64 { return c.st[id].res }
+
+// Step advances one node's keyed sum.
+func (c *StepKeyedSum) Step(nd *congest.Node) congest.Park {
+	st := &c.st[nd.ID()]
+	ov := c.src.NodeOverlay(nd.ID())
+	for {
+		switch st.pc {
+		case ksStart:
+			mine := c.mine(nd)
+			st.sums = make([]int64, len(c.keys))
+			for j, k := range c.keys {
+				st.sums[j] = mine[k]
+			}
+			// Children's slots arrive in order on each port (FIFO):
+			// consume slot j from every child in child-port order, then
+			// emit slot j upward — the same receive discipline as the
+			// blocking KeyedSum, with the predicate reading the current
+			// (slot, port) through the state it is stored next to.
+			tag := c.tag
+			st.match = func(p int, m congest.Message) bool {
+				return m.Kind == kindSlot && m.Tag == tag && p == st.port && m.A == int64(st.j)
+			}
+			st.pc = ksSlots
+			continue
+		case ksSlots:
+			for st.j < len(c.keys) {
+				for st.ci < len(ov.ChildPorts) {
+					st.port = ov.ChildPorts[st.ci]
+					_, m, ok := nd.StepRecv(st.match)
+					if !ok {
+						return congest.ParkRecv(st.match)
+					}
+					st.sums[st.j] += m.B
+					st.ci++
+				}
+				if !ov.Root {
+					nd.Send(ov.ParentPort, congest.Message{Kind: kindSlot, Tag: c.tag, A: int64(st.j), B: st.sums[st.j]})
+				}
+				st.j++
+				st.ci = 0
+			}
+			// Root floods the totals; everyone assembles the map.
+			st.items = make([]Item, 0, len(c.keys))
+			if ov.Root {
+				for j, k := range c.keys {
+					st.items = append(st.items, Item{A: k, B: st.sums[j]})
+				}
+			}
+			st.pc = ksFlood
+			continue
+		case ksFlood:
+			park, done := st.fc.step(nd, ov, c.tag+1, st.items)
+			if !done {
+				return park
+			}
+			out := st.fc.got
+			st.res = make(map[int64]int64, len(out))
+			for _, it := range out {
+				st.res[it.A] = it.B
+			}
+			st.pc = ksFinished
+			return congest.ParkDone()
+		default:
+			return congest.ParkDone()
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzCanonicalRequest feeds arbitrary JSON through the cache-key
+// canonicalizer and checks its contract on everything that parses:
+//
+//   - CanonicalRequest never panics, whatever the request contains;
+//   - canonicalization is a fixed point: re-canonicalizing a canonical
+//     request changes neither the request nor its key (if it did,
+//     repeat submissions could miss the cache or — worse — two
+//     spellings of one computation could produce distinct immutable
+//     results);
+//   - uploaded edge lists are order-independent: permuting the edges
+//     of an accepted request never changes its key.
+func FuzzCanonicalRequest(f *testing.F) {
+	seeds := []string{
+		`{"graph":{"family":"gnp","n":50,"p":0.1,"seed":3}}`,
+		`{"graph":{"family":"planted","n1":16,"n2":16,"k":3,"in_p":0.4},"tier":"approx","epsilon":0.25}`,
+		`{"graph":{"family":"torus","rows":4,"cols":5},"mode":"exact"}`,
+		`{"graph":{"family":"edges","n":4,"edges":[[0,1,1],[2,1,5],[3,0,2]]},"tier":"tiered"}`,
+		`{"graph":{"family":"hypercube","dim":4},"tier":"bracket","seed":9}`,
+		`{"graph":{"family":"random_regular","n":16,"degree":3,"seed":2},"mode":"respect"}`,
+		`{"graph":{"family":"cliquepath","cliques":3,"clique_size":4,"bridge":2},"deadline_ms":50}`,
+		`{"graph":{"family":"cycle","n":9,"weights":{"lo":1,"hi":7}},"tier":"exact","mode":"exact"}`,
+		`{"graph":{"family":"grid","rows":3,"cols":1000000000}}`,
+		`{"graph":{"family":"edges","n":3,"edges":[[1,0,1],[0,1,1]]}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req JobRequest
+		if json.Unmarshal(data, &req) != nil {
+			return
+		}
+		canon, key, err := CanonicalRequest(req, Limits{})
+		if err != nil {
+			return // rejected specs only need to not panic
+		}
+		canon2, key2, err := CanonicalRequest(canon, Limits{})
+		if err != nil {
+			t.Fatalf("canonical request rejected on re-canonicalization: %v\ncanon: %+v", err, canon)
+		}
+		if key2 != key {
+			t.Fatalf("key not a fixed point: %s -> %s\ncanon: %+v", key, key2, canon)
+		}
+		if !reflect.DeepEqual(canon, canon2) {
+			t.Fatalf("canonical form not a fixed point:\nfirst:  %+v\nsecond: %+v", canon, canon2)
+		}
+		if req.Graph.Family == "edges" && len(req.Graph.Edges) > 1 {
+			perm := req
+			perm.Graph.Edges = make([][3]int64, len(req.Graph.Edges))
+			for i, e := range req.Graph.Edges {
+				perm.Graph.Edges[len(req.Graph.Edges)-1-i] = e
+			}
+			_, permKey, err := CanonicalRequest(perm, Limits{})
+			if err != nil {
+				t.Fatalf("edge-reversed request rejected: %v", err)
+			}
+			if permKey != key {
+				t.Fatalf("edge order changed the key: %s vs %s", key, permKey)
+			}
+		}
+	})
+}
